@@ -1,0 +1,70 @@
+//! Substrate micro-benchmarks: SECDED codec, cache hierarchy, feature
+//! extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wade_ecc::Secded;
+use wade_features::{extract, ExtractionContext};
+use wade_memsys::{Soc, SocConfig};
+use wade_trace::{AccessSink, FanoutSink, MemAccess, Tracer};
+
+fn bench_ecc(c: &mut Criterion) {
+    let codec = Secded::new();
+    let mut group = c.benchmark_group("ecc_codec");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(codec.encode(black_box(i)))
+        })
+    });
+    group.bench_function("decode_clean", |b| {
+        let word = codec.encode(0xDEAD_BEEF);
+        b.iter(|| black_box(codec.decode(black_box(word))))
+    });
+    group.bench_function("decode_corrupted", |b| {
+        let word = codec.encode(0xDEAD_BEEF).with_flipped(13);
+        b.iter(|| black_box(codec.decode(black_box(word))))
+    });
+    group.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("soc_10k_events", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(SocConfig::x_gene2());
+            for i in 0..10_000u64 {
+                soc.on_access(MemAccess::read((i * 64) % (1 << 22), (i % 8) as u8));
+                soc.on_instructions(3);
+            }
+            black_box(soc.report())
+        })
+    });
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    // Prepare one run's reports, then time only the extraction.
+    let mut fan = FanoutSink::new(Tracer::new(), Soc::new(SocConfig::x_gene2()));
+    for i in 0..100_000u64 {
+        fan.on_access(MemAccess::write(
+            (i * 64) % (1 << 20),
+            i.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            (i % 8) as u8,
+        ));
+        fan.on_instructions(2);
+    }
+    let (tracer, soc) = fan.into_inner();
+    let soc_report = soc.report();
+    let trace_report = tracer.report();
+    let ctx = ExtractionContext { deploy_footprint_words: 1 << 30, reuse_scale: 1.0 };
+
+    c.bench_function("feature_extract_249", |b| {
+        b.iter(|| black_box(extract(&soc_report, &trace_report, &ctx)))
+    });
+}
+
+criterion_group!(benches, bench_ecc, bench_cache_sim, bench_feature_extraction);
+criterion_main!(benches);

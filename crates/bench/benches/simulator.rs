@@ -1,0 +1,91 @@
+//! DRAM error-simulator benchmarks, including the DESIGN.md ablations:
+//! disturbance on/off and weak-cell population scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wade_dram::{DramDevice, DramUsageProfile, ErrorPhysics, ErrorSim, OperatingPoint, ServerGeometry};
+use wade_workloads::{Scale, WorkloadId};
+
+fn bench_characterization_run(c: &mut Criterion) {
+    let device = DramDevice::with_seed(42);
+    let sim = ErrorSim::new(&device);
+    let mut group = c.benchmark_group("dram_sim");
+    for (label, temp) in [("50C", 50.0), ("60C", 60.0), ("70C", 70.0)] {
+        group.bench_with_input(BenchmarkId::new("run_2h_1GiB", label), &temp, |b, &temp| {
+            let profile = DramUsageProfile::uniform_synthetic(1 << 27);
+            let op = OperatingPoint::relaxed(2.283, temp);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.run(&profile, op, 7200.0, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the disturbance term's cost (and its absence).
+fn bench_ablation_disturbance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_disturbance");
+    let profile = DramUsageProfile::uniform_synthetic(1 << 27);
+    let op = OperatingPoint::relaxed(2.283, 60.0);
+    for (label, physics) in [
+        ("with_disturbance", ErrorPhysics::calibrated()),
+        ("without_disturbance", ErrorPhysics::calibrated().without_disturbance()),
+    ] {
+        let device = DramDevice::with_parts(42, ServerGeometry::x_gene2(), physics);
+        group.bench_function(label, |b| {
+            let sim = ErrorSim::new(&device);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.run(&profile, op, 7200.0, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: simulation cost vs footprint (weak-cell population scales
+/// linearly; WER estimates stay stable — see tests/ablation.rs).
+fn bench_ablation_scale(c: &mut Criterion) {
+    let device = DramDevice::with_seed(42);
+    let sim = ErrorSim::new(&device);
+    let mut group = c.benchmark_group("ablation_scale");
+    for shift in [24u32, 26, 28, 30] {
+        let words = 1u64 << shift;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{shift}_words")), &words, |b, &words| {
+            let profile = DramUsageProfile::uniform_synthetic(words);
+            let op = OperatingPoint::relaxed(2.283, 60.0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.run(&profile, op, 7200.0, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_kernels");
+    for id in [WorkloadId::Backprop, WorkloadId::Nw, WorkloadId::Memcached, WorkloadId::Bfs] {
+        group.bench_function(id.to_string(), |b| {
+            let wl = id.instantiate(1, Scale::Test);
+            b.iter(|| {
+                let mut tracer = wade_trace::Tracer::new();
+                wl.run(&mut tracer, 3);
+                black_box(tracer.report())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_characterization_run,
+    bench_ablation_disturbance,
+    bench_ablation_scale,
+    bench_workload_kernels
+);
+criterion_main!(benches);

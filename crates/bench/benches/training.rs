@@ -1,0 +1,72 @@
+//! Learner benchmarks: training time, prediction latency (the paper's
+//! "predict within 300 ms" claim, §VI.B) and the KNN k ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wade_ml::{ForestTrainer, KnnTrainer, Regressor, SvrTrainer, Trainer};
+
+/// A campaign-shaped synthetic dataset: 140 samples × `dim` features with a
+/// smooth nonlinear target (mirrors a per-rank WER dataset in log space).
+fn synthetic(dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = 140;
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for j in 0..dim {
+            let v = (((i * 31 + j * 17) % 97) as f64) / 97.0;
+            row.push(v);
+        }
+        let t = -9.0 + 3.0 * row[0] + 2.0 * (row[1 % dim] * 6.0).sin();
+        x.push(row);
+        y.push(t);
+    }
+    (x, y)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    for dim in [7usize, 252] {
+        let (x, y) = synthetic(dim);
+        group.bench_with_input(BenchmarkId::new("knn", dim), &dim, |b, _| {
+            b.iter(|| black_box(KnnTrainer::paper_default().train(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("svr", dim), &dim, |b, _| {
+            b.iter(|| black_box(SvrTrainer::paper_default().train(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("rdf", dim), &dim, |b, _| {
+            b.iter(|| black_box(ForestTrainer::new(20).train(&x, &y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_latency");
+    let (x, y) = synthetic(7);
+    let query = x[0].clone();
+    let knn = KnnTrainer::paper_default().train(&x, &y);
+    let svr = SvrTrainer::paper_default().train(&x, &y);
+    let rdf = ForestTrainer::paper_default().train(&x, &y);
+    // The paper's pitch: a prediction replaces a 2-hour characterization
+    // and completes within 300 ms. Ours must be far under that.
+    group.bench_function("knn", |b| b.iter(|| black_box(knn.predict(black_box(&query)))));
+    group.bench_function("svr", |b| b.iter(|| black_box(svr.predict(black_box(&query)))));
+    group.bench_function("rdf", |b| b.iter(|| black_box(rdf.predict(black_box(&query)))));
+    group.finish();
+}
+
+fn bench_knn_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_k_sweep");
+    let (x, y) = synthetic(7);
+    let query = x[7].clone();
+    for k in [1usize, 2, 4, 8, 16] {
+        let model = KnnTrainer::new(k).train(&x, &y);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(model.predict(black_box(&query))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_predict_latency, bench_knn_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table III — the three model input sets.
+
+use wade_features::{schema, FeatureSet};
+
+fn main() {
+    println!("Table III: input feature sets used for training");
+    println!("{:<12} {}", "input set", "parameters");
+    println!("{}", "-".repeat(76));
+    for set in FeatureSet::ALL {
+        println!("{:<12} {}", set.to_string(), set.description());
+    }
+    println!("\nprogram-feature indices resolved against the 249-feature schema:");
+    for set in [FeatureSet::Set1, FeatureSet::Set2] {
+        let names: Vec<String> = set.indices().iter().map(|&i| schema::name(i)).collect();
+        println!("  {set}: {}", names.join(", "));
+    }
+    println!(
+        "  {}: all {} program features",
+        FeatureSet::Set3,
+        FeatureSet::Set3.indices().len()
+    );
+}

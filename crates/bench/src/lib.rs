@@ -1,0 +1,88 @@
+//! # wade-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index) plus Criterion benchmarks. This library holds the shared
+//! plumbing: the reference server/campaign construction, a disk cache for
+//! the collected campaign data (so each figure binary doesn't recollect),
+//! and small table-printing helpers.
+
+#![deny(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+use wade_core::{Campaign, CampaignConfig, CampaignData, SimulatedServer};
+use wade_workloads::{full_suite, Scale, Workload};
+
+/// The reference device seed used by every experiment (the "server in the
+/// lab"). Changing it re-manufactures all 72 chips.
+pub const DEVICE_SEED: u64 = 39;
+
+/// The campaign seed (run-to-run randomness: VRT states, discovery order).
+pub const CAMPAIGN_SEED: u64 = 7;
+
+/// The reference server instance.
+pub fn server() -> SimulatedServer {
+    SimulatedServer::with_seed(DEVICE_SEED)
+}
+
+/// The full-suite campaign data at the paper's grid, cached on disk under
+/// `target/` so figure binaries share one collection pass.
+pub fn full_campaign_data() -> CampaignData {
+    let cache = cache_path();
+    if let Ok(json) = fs::read_to_string(&cache) {
+        if let Ok(data) = CampaignData::from_json(&json) {
+            eprintln!("[wade-bench] using cached campaign data ({})", cache.display());
+            return data;
+        }
+    }
+    eprintln!("[wade-bench] collecting full campaign (first run, ~1-2 min)…");
+    let data = collect_full_campaign();
+    if let Ok(json) = data.to_json() {
+        let _ = fs::create_dir_all(cache.parent().unwrap());
+        let _ = fs::write(&cache, json);
+    }
+    data
+}
+
+/// Collects the full campaign without touching the cache.
+pub fn collect_full_campaign() -> CampaignData {
+    let campaign = Campaign::new(server(), CampaignConfig::paper_full());
+    campaign.collect(&experiment_suite(), CAMPAIGN_SEED)
+}
+
+/// The workload suite used by the experiments: the paper's 14 configs plus
+/// the Fig. 13 extras (lulesh ×2 and the random data-pattern micro).
+pub fn experiment_suite() -> Vec<Box<dyn Workload>> {
+    full_suite(Scale::Full)
+}
+
+fn cache_path() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("wade-campaign-cache.json")
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a header row plus separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats a WER in the paper's scientific style.
+pub fn fmt_wer(wer: f64) -> String {
+    if wer == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{wer:.2e}")
+    }
+}

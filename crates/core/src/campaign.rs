@@ -1,0 +1,320 @@
+//! Characterization campaigns: the paper's data-collection loop (Fig. 3).
+
+use crate::server::{ProfiledWorkload, SimulatedServer};
+use serde::{Deserialize, Serialize};
+use wade_dram::{ErrorSim, OperatingPoint, RunResult, RANK_COUNT};
+use wade_features::FeatureVector;
+use wade_workloads::Workload;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Duration of each characterization run in seconds (the paper: 2 h).
+    pub run_duration_s: f64,
+    /// Repeats per (workload, op) for the UE-probability estimate
+    /// (the paper: 10).
+    pub pue_repeats: u32,
+    /// Refresh periods × temperatures characterized for WER.
+    pub wer_ops: Vec<OperatingPoint>,
+    /// Operating points for the PUE study.
+    pub pue_ops: Vec<OperatingPoint>,
+}
+
+impl CampaignConfig {
+    /// The paper's full grid: WER at TREFP ∈ {0.618, 1.173, 1.727, 2.283} s
+    /// × {50, 60} °C plus the safe 70 °C points; PUE at
+    /// {1.450, 1.727, 2.283} s × 70 °C with 10 repeats; 2-hour runs.
+    pub fn paper_full() -> Self {
+        let mut wer_ops = Vec::new();
+        for &t in &OperatingPoint::WER_TREFP_SWEEP {
+            for &c in &[50.0, 60.0] {
+                wer_ops.push(OperatingPoint::relaxed(t, c));
+            }
+        }
+        // At 70 °C only the two shortest refresh periods are UE-safe.
+        wer_ops.push(OperatingPoint::relaxed(0.618, 70.0));
+        wer_ops.push(OperatingPoint::relaxed(1.173, 70.0));
+        let pue_ops =
+            OperatingPoint::PUE_TREFP_SWEEP.iter().map(|&t| OperatingPoint::relaxed(t, 70.0)).collect();
+        Self { run_duration_s: 7200.0, pue_repeats: 10, wer_ops, pue_ops }
+    }
+
+    /// A reduced grid for tests and examples: the same structure with
+    /// fewer points and repeats.
+    pub fn quick() -> Self {
+        let wer_ops = vec![
+            OperatingPoint::relaxed(1.173, 60.0),
+            OperatingPoint::relaxed(1.727, 60.0),
+            OperatingPoint::relaxed(2.283, 60.0),
+            OperatingPoint::relaxed(2.283, 50.0),
+        ];
+        let pue_ops = vec![OperatingPoint::relaxed(1.450, 70.0), OperatingPoint::relaxed(2.283, 70.0)];
+        Self { run_duration_s: 7200.0, pue_repeats: 3, wer_ops, pue_ops }
+    }
+}
+
+/// Characterization outcome for one (workload, op): WER runs or PUE repeats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CharacterizationOutcome {
+    /// Aggregate WER (eq. 2) of the run (0 when the run crashed early).
+    pub wer: f64,
+    /// Per-rank WER split (Fig. 8's view).
+    pub wer_per_rank: [f64; RANK_COUNT],
+    /// Whether the run ended in an uncorrectable error (crash).
+    pub crashed: bool,
+    /// Rank blamed for the crash, if any.
+    pub ue_rank: Option<usize>,
+}
+
+impl CharacterizationOutcome {
+    fn from_run(run: &RunResult) -> Self {
+        Self {
+            wer: run.wer(),
+            wer_per_rank: run.wer_per_rank(),
+            crashed: run.crashed(),
+            ue_rank: run.ue.map(|u| u.rank.index()),
+        }
+    }
+}
+
+/// One campaign row: a (workload, operating point) cell with its profiling
+/// features and characterization results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Benchmark label.
+    pub workload: String,
+    /// Operating point characterized.
+    pub op: OperatingPoint,
+    /// The workload's 249 program features (op-independent).
+    pub features: FeatureVector,
+    /// WER measurement (single long run), if this op is in the WER grid.
+    pub wer_run: Option<CharacterizationOutcome>,
+    /// PUE repeats (crash indicator per repeat), if in the PUE grid.
+    pub pue_runs: Vec<CharacterizationOutcome>,
+}
+
+impl CampaignRow {
+    /// The measured UE probability (eq. 3) over the repeats.
+    pub fn pue(&self) -> f64 {
+        if self.pue_runs.is_empty() {
+            return 0.0;
+        }
+        self.pue_runs.iter().filter(|r| r.crashed).count() as f64 / self.pue_runs.len() as f64
+    }
+}
+
+/// The full collected dataset of a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignData {
+    /// All (workload × op) rows.
+    pub rows: Vec<CampaignRow>,
+    /// Seconds of simulated characterization time represented.
+    pub simulated_seconds: f64,
+}
+
+impl CampaignData {
+    /// Workload labels present, in first-appearance order.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r.workload) {
+                seen.push(r.workload.clone());
+            }
+        }
+        seen
+    }
+
+    /// Serialises to JSON (the public-release format of the paper's DFault
+    /// repository).
+    ///
+    /// # Errors
+    /// Returns [`crate::WadeError::Persistence`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String, crate::WadeError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Restores from JSON.
+    ///
+    /// # Errors
+    /// Returns [`crate::WadeError::Persistence`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, crate::WadeError> {
+        Ok(serde_json::from_str(json)?)
+    }
+}
+
+/// The characterization campaign driver.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    server: SimulatedServer,
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Binds a campaign configuration to a server.
+    pub fn new(server: SimulatedServer, config: CampaignConfig) -> Self {
+        Self { server, config }
+    }
+
+    /// The server under test.
+    pub fn server(&self) -> &SimulatedServer {
+        &self.server
+    }
+
+    /// Profiles one workload (Fig. 3's profiling phase).
+    pub fn profile(&self, workload: &dyn Workload, seed: u64) -> ProfiledWorkload {
+        self.server.profile_workload(workload, seed)
+    }
+
+    /// Characterizes one profiled workload at one op for `repeats` runs.
+    ///
+    /// Repeats are independent (each has its own derived seed), so they run
+    /// on scoped worker threads — the simulated analogue of queueing the 10
+    /// repeat experiments of Fig. 9 back to back on the testbed.
+    pub fn characterize(
+        &self,
+        profiled: &ProfiledWorkload,
+        op: OperatingPoint,
+        repeats: u32,
+        seed: u64,
+    ) -> Vec<CharacterizationOutcome> {
+        let sim = ErrorSim::new(self.server.device());
+        let run_one = |r: u32| {
+            let run = sim.run(
+                &profiled.profile,
+                op,
+                self.config.run_duration_s,
+                seed ^ (r as u64).wrapping_mul(0x9E37_79B9),
+            );
+            CharacterizationOutcome::from_run(&run)
+        };
+        if repeats <= 1 {
+            return (0..repeats).map(run_one).collect();
+        }
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..repeats)
+                .map(|r| scope.spawn(move |_| run_one(r)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("repeat run panicked")).collect()
+        })
+        .expect("characterization scope panicked")
+    }
+
+    /// Runs the full data-collection process of Fig. 3 over a suite:
+    /// thermal settling, profiling, WER grid, PUE grid.
+    pub fn collect(mut self, suite: &[Box<dyn Workload>], seed: u64) -> CampaignData {
+        let mut rows = Vec::new();
+        let mut simulated = 0.0;
+        let profiled: Vec<ProfiledWorkload> =
+            suite.iter().map(|w| self.profile(w.as_ref(), seed)).collect();
+
+        // Temperature set-points group the grid like the physical campaign
+        // (heat once per temperature, then sweep refresh periods).
+        let mut all_ops: Vec<(OperatingPoint, bool)> = Vec::new();
+        all_ops.extend(self.config.wer_ops.iter().map(|&op| (op, false)));
+        all_ops.extend(self.config.pue_ops.iter().map(|&op| (op, true)));
+        all_ops.sort_by(|a, b| a.0.temp_c.partial_cmp(&b.0.temp_c).unwrap());
+
+        for (op, is_pue) in all_ops {
+            self.server.thermal_mut().set_all_targets(op.temp_c);
+            simulated += self.server.thermal_mut().settle(0.5, 3600.0);
+            for p in &profiled {
+                let row_seed = seed ^ hash_name(&p.name) ^ ((op.trefp_s * 1e4) as u64);
+                if is_pue {
+                    let runs = self.characterize(p, op, self.config.pue_repeats, row_seed);
+                    simulated += self.config.run_duration_s * runs.len() as f64;
+                    rows.push(CampaignRow {
+                        workload: p.name.clone(),
+                        op,
+                        features: p.features.clone(),
+                        wer_run: None,
+                        pue_runs: runs,
+                    });
+                } else {
+                    let run = self.characterize(p, op, 1, row_seed).remove(0);
+                    simulated += self.config.run_duration_s;
+                    rows.push(CampaignRow {
+                        workload: p.name.clone(),
+                        op,
+                        features: p.features.clone(),
+                        wer_run: Some(run),
+                        pue_runs: Vec::new(),
+                    });
+                }
+            }
+        }
+        CampaignData { rows, simulated_seconds: simulated }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wade_workloads::{Scale, WorkloadId};
+
+    fn tiny_suite() -> Vec<Box<dyn Workload>> {
+        vec![
+            WorkloadId::Backprop.instantiate(1, Scale::Test),
+            WorkloadId::Memcached.instantiate(8, Scale::Test),
+            WorkloadId::Nw.instantiate(1, Scale::Test),
+        ]
+    }
+
+    #[test]
+    fn collect_produces_a_row_per_workload_per_op() {
+        let campaign = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+        let data = campaign.collect(&tiny_suite(), 1);
+        // 3 workloads × (4 WER ops + 2 PUE ops).
+        assert_eq!(data.rows.len(), 18);
+        assert_eq!(data.workloads().len(), 3);
+        assert!(data.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn pue_rises_with_trefp_at_70c() {
+        let campaign = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+        let data = campaign.collect(&tiny_suite(), 1);
+        let pue_low: f64 = data
+            .rows
+            .iter()
+            .filter(|r| !r.pue_runs.is_empty() && r.op.trefp_s < 2.0)
+            .map(CampaignRow::pue)
+            .sum();
+        let pue_high: f64 = data
+            .rows
+            .iter()
+            .filter(|r| !r.pue_runs.is_empty() && r.op.trefp_s > 2.0)
+            .map(CampaignRow::pue)
+            .sum();
+        assert!(pue_high >= pue_low, "PUE must not shrink with TREFP: {pue_high} vs {pue_low}");
+        assert!(pue_high > 0.0, "max TREFP at 70°C must crash sometimes");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let campaign = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+        let data = campaign.collect(&tiny_suite()[..1], 1);
+        let json = data.to_json().unwrap();
+        let back = CampaignData::from_json(&json).unwrap();
+        assert_eq!(back.rows.len(), data.rows.len());
+        assert_eq!(back.rows[0].workload, data.rows[0].workload);
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let campaign = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+        let wl = WorkloadId::Backprop.instantiate(1, Scale::Test);
+        let p = campaign.profile(wl.as_ref(), 2);
+        let op = OperatingPoint::relaxed(2.283, 60.0);
+        let a = campaign.characterize(&p, op, 2, 9);
+        let b = campaign.characterize(&p, op, 2, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.wer, y.wer);
+            assert_eq!(x.crashed, y.crashed);
+        }
+    }
+}

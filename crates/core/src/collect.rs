@@ -1,0 +1,134 @@
+//! Builders turning campaign data into ML datasets (Fig. 3, right side).
+
+use crate::campaign::CampaignData;
+use wade_dram::OperatingPoint;
+use wade_features::{FeatureSet, FeatureVector};
+use wade_ml::Dataset;
+
+/// Assembles one model-input row: the chosen program-feature subset plus
+/// the operating parameters (`TREFP`, `TEMP_DRAM`, `VDD`), as in Table III.
+pub fn op_augmented_row(
+    features: &FeatureVector,
+    set: FeatureSet,
+    op: OperatingPoint,
+) -> Vec<f64> {
+    let mut row = features.project(&set.indices());
+    row.push(op.trefp_s);
+    row.push(op.temp_c);
+    row.push(op.vdd_v);
+    row
+}
+
+/// Input dimensionality for a feature set (program features + 3 op params).
+pub(crate) fn input_dim(set: FeatureSet) -> usize {
+    set.indices().len() + 3
+}
+
+/// Minimum corrected-error count per (rank, run) for a WER sample to be
+/// statistically meaningful: below ~10 unique CE words the measurement is
+/// dominated by Poisson noise (±32 % at 10 counts), so such cells carry no
+/// trainable signal. Mirrors the telemetry floor any field study applies.
+pub const MIN_CE_COUNT: f64 = 10.0;
+
+/// Builds the WER training set for one rank.
+///
+/// Targets are `log₁₀(WER)` — the error rate spans five decades
+/// (Fig. 7), and distance-based learners need the decades linearised (the
+/// log-target ablation in `tests/ablation.rs` shows the difference).
+/// Rows where the run crashed, or where the rank saw fewer than
+/// [`MIN_CE_COUNT`] unique error words, are excluded, mirroring the
+/// paper's measurable samples.
+pub fn build_wer_dataset(data: &CampaignData, set: FeatureSet, rank: usize) -> Dataset {
+    let mut ds = Dataset::new(input_dim(set));
+    for row in &data.rows {
+        let Some(run) = &row.wer_run else { continue };
+        if run.crashed {
+            continue;
+        }
+        let wer = run.wer_per_rank[rank];
+        // Telemetry-significance floor: require enough unique CE words.
+        if wer * data_footprint_words(data) < MIN_CE_COUNT {
+            continue;
+        }
+        ds.push(
+            op_augmented_row(&row.features, set, row.op),
+            wer.log10(),
+            row.workload.clone(),
+        );
+    }
+    ds
+}
+
+/// The deployment footprint used by the campaign's profiles (words).
+fn data_footprint_words(_data: &CampaignData) -> f64 {
+    // All paper campaigns allocate 8 GB per benchmark.
+    (1u64 << 30) as f64
+}
+
+/// Builds the PUE training set (server-level, as the UE crashes the whole
+/// machine). Targets are the measured crash probabilities in `[0, 1]`.
+pub fn build_pue_dataset(data: &CampaignData, set: FeatureSet) -> Dataset {
+    let mut ds = Dataset::new(input_dim(set));
+    for row in &data.rows {
+        if row.pue_runs.is_empty() {
+            continue;
+        }
+        ds.push(op_augmented_row(&row.features, set, row.op), row.pue(), row.workload.clone());
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use crate::server::SimulatedServer;
+    use wade_workloads::{Scale, WorkloadId};
+
+    fn data() -> CampaignData {
+        let suite = vec![
+            WorkloadId::Backprop.instantiate(1, Scale::Test),
+            WorkloadId::Srad.instantiate(8, Scale::Test),
+        ];
+        Campaign::new(SimulatedServer::with_seed(3), CampaignConfig::quick()).collect(&suite, 2)
+    }
+
+    #[test]
+    fn row_width_matches_set_plus_ops() {
+        let d = data();
+        let row = op_augmented_row(&d.rows[0].features, FeatureSet::Set1, d.rows[0].op);
+        assert_eq!(row.len(), 4 + 3);
+        assert_eq!(input_dim(FeatureSet::Set3), 252);
+    }
+
+    #[test]
+    fn wer_dataset_targets_are_log_space() {
+        let d = data();
+        for rank in 0..8 {
+            let ds = build_wer_dataset(&d, FeatureSet::Set2, rank);
+            for s in ds.samples() {
+                assert!(s.target < 0.0, "log10(WER) must be negative, got {}", s.target);
+                assert!(s.target > -12.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pue_dataset_targets_are_probabilities() {
+        let d = data();
+        let ds = build_pue_dataset(&d, FeatureSet::Set2);
+        assert!(!ds.is_empty());
+        for s in ds.samples() {
+            assert!((0.0..=1.0).contains(&s.target));
+        }
+    }
+
+    #[test]
+    fn groups_are_workload_names() {
+        let d = data();
+        let ds = build_pue_dataset(&d, FeatureSet::Set1);
+        let groups = ds.groups();
+        assert!(groups.contains(&"backprop".to_string()));
+        assert!(groups.contains(&"srad(par)".to_string()));
+    }
+}

@@ -1,0 +1,48 @@
+//! # wade-core — workload-aware DRAM error prediction
+//!
+//! The primary contribution of the reproduced paper: a pipeline that
+//!
+//! 1. **profiles** workloads (program features: 247 counters + `Treuse` +
+//!    `H_DP`) — the *profiling phase* of Fig. 3,
+//! 2. **characterizes** DRAM error behaviour while running them under
+//!    relaxed refresh period / lowered voltage / elevated temperature — the
+//!    *DRAM characterization phase*,
+//! 3. **trains** the error model `M(Ftrs, Dev, TREFP, VDD, TEMP) → WER, PUE`
+//!    (eq. 1) with SVM / KNN / RDF learners, and
+//! 4. **predicts** error rates for unseen workloads in microseconds instead
+//!    of 2-hour characterization campaigns.
+//!
+//! ```no_run
+//! use wade_core::{SimulatedServer, Campaign, CampaignConfig, MlKind};
+//! use wade_features::FeatureSet;
+//! use wade_workloads::{paper_suite, Scale};
+//!
+//! let server = SimulatedServer::with_seed(42);
+//! let campaign = Campaign::new(server, CampaignConfig::quick());
+//! let data = campaign.collect(&paper_suite(Scale::Test), 7);
+//! let model = wade_core::train_error_model(&data, MlKind::Knn, FeatureSet::Set1);
+//! let first = &data.rows[0];
+//! let wer = model.predict_wer(&first.features, first.op, 0);
+//! assert!(wer >= 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod campaign;
+mod collect;
+mod error;
+mod model;
+mod predictor;
+mod server;
+mod thermal;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRow, CharacterizationOutcome};
+pub use collect::{build_pue_dataset, build_wer_dataset, op_augmented_row};
+pub use error::WadeError;
+pub use model::{train_error_model, AnyModel, ErrorModel, MlKind};
+pub use predictor::{evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport};
+pub use server::{ProfiledWorkload, SimulatedServer};
+pub use thermal::{PidController, ThermalTestbed};
+
+pub use wade_dram::{DramUsageProfile, OperatingPoint};

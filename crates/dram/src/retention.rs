@@ -1,0 +1,108 @@
+//! The retention-time tail law.
+
+use crate::config::ErrorPhysics;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Samples retention times for weak cells.
+///
+/// The model: within the tracked window `[0, W]` (where
+/// `W = retention_window_s`), the CDF of cell retention times follows
+/// `P(retention < t) ∝ exp(alpha·t)` — the empirical consequence is the
+/// paper's observation that WER grows exponentially with `TREFP`
+/// (Fig. 7f). Sampling uses exact inverse-CDF transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionLaw {
+    /// Tail slope (1/s).
+    pub alpha_per_s: f64,
+    /// Window upper bound (s).
+    pub window_s: f64,
+}
+
+impl RetentionLaw {
+    /// Builds the law from the physics constants.
+    pub fn from_physics(physics: &ErrorPhysics) -> Self {
+        Self { alpha_per_s: physics.alpha_per_s, window_s: physics.retention_window_s }
+    }
+
+    /// Samples one retention time in `(−∞, window_s]`, exponentially
+    /// weighted toward the window edge (weakest cells are rarest).
+    ///
+    /// Inverse CDF: with `u ~ U(0,1)`, `r = W + ln(u)/alpha` satisfies
+    /// `P(r < t) = exp(alpha·(t − W))` for `t ≤ W`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.window_s + u.ln() / self.alpha_per_s
+    }
+
+    /// Fraction of window-weak cells whose retention is below `t` seconds.
+    pub fn fraction_below(&self, t: f64) -> f64 {
+        if t >= self.window_s {
+            1.0
+        } else {
+            (self.alpha_per_s * (t - self.window_s)).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn law() -> RetentionLaw {
+        RetentionLaw::from_physics(&ErrorPhysics::calibrated())
+    }
+
+    #[test]
+    fn samples_stay_below_window() {
+        let law = law();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(law.sample(&mut rng) <= law.window_s);
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_matches_exponential_tail() {
+        let law = law();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let t = 1.5;
+        let below = (0..n).filter(|_| law.sample(&mut rng) < t).count();
+        let expected = law.fraction_below(t);
+        let got = below as f64 / n as f64;
+        assert!(
+            (got - expected).abs() < 0.01,
+            "empirical {got} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_and_bounded() {
+        let law = law();
+        let mut prev = 0.0;
+        for i in 0..30 {
+            let t = i as f64 * 0.1;
+            let f = law.fraction_below(t);
+            assert!(f >= prev);
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        assert_eq!(law.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn shorter_refresh_catches_exponentially_fewer_cells() {
+        let law = law();
+        let r1 = law.fraction_below(0.618);
+        let r2 = law.fraction_below(1.173);
+        let r3 = law.fraction_below(1.727);
+        // Equal TREFP steps → equal multiplicative WER steps.
+        let ratio_a = r2 / r1;
+        let ratio_b = r3 / r2;
+        assert!((ratio_a / ratio_b - 1.0).abs() < 0.05);
+        assert!(ratio_a > 5.0, "growth per 0.555 s step: {ratio_a}");
+    }
+}

@@ -1,0 +1,574 @@
+//! The error-manifestation simulation.
+//!
+//! One call to [`ErrorSim::run`] plays out a full characterization run (the
+//! paper's 2-hour benchmark execution at one operating point). Per rank, a
+//! Poisson-sampled population of weak cells is drawn from the retention
+//! tail law; crucially, the population is seeded by *(device, rank,
+//! temperature, voltage)* only — the same physical cells exist at every
+//! refresh period, so sweeping `TREFP` thresholds a fixed population, just
+//! as on real silicon. Each cell then either survives (implicitly
+//! refreshed faster than it leaks, or its stored data holds it in the
+//! non-leaking orientation) or manifests as a correctable error discovered
+//! when the word is read or patrol-scrubbed.
+//!
+//! Three additional channels complete the phenomenology:
+//! * an additive *disturbance* channel (row-hammer style single-bit flips
+//!   proportional to the row-activation rate) — the mechanism behind the
+//!   paper's top feature correlation,
+//! * multi-bit *bursts* (quadratic in activation rate) and two weak bits
+//!   colliding in one word — the uncorrectable errors of Fig. 9,
+//! * a cold *OS-resident* region whose pair collisions crash every
+//!   workload at the maximum refresh period at 70 °C.
+
+use crate::device::DramDevice;
+use crate::event::{CeEvent, RunResult, UeEvent};
+use crate::geometry::RankId;
+use crate::op::OperatingPoint;
+use crate::profile::DramUsageProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Poisson};
+use std::collections::HashMap;
+
+/// Simulator for characterization runs against one [`DramDevice`].
+#[derive(Debug, Clone)]
+pub struct ErrorSim<'d> {
+    device: &'d DramDevice,
+}
+
+impl<'d> ErrorSim<'d> {
+    /// Creates a simulator bound to a device.
+    pub fn new(device: &'d DramDevice) -> Self {
+        Self { device }
+    }
+
+    /// Simulates one benchmark execution of `duration_s` seconds under
+    /// operating point `op` with the DRAM usage described by `profile`.
+    ///
+    /// `run_seed` captures run-to-run variation (VRT states, discovery
+    /// order); re-running with the same seed reproduces the result exactly.
+    ///
+    /// # Panics
+    /// Panics if the profile or operating point fail validation.
+    pub fn run(
+        &self,
+        profile: &DramUsageProfile,
+        op: OperatingPoint,
+        duration_s: f64,
+        run_seed: u64,
+    ) -> RunResult {
+        profile.validate().expect("invalid DRAM usage profile");
+        op.validate().expect("invalid operating point");
+        let physics = self.device.physics();
+        let law = self.device.retention_law();
+        let geometry = self.device.geometry();
+        let ranks = geometry.total_ranks();
+
+        let mut ce_events: Vec<CeEvent> = Vec::new();
+        let mut earliest_ue: Option<UeEvent> = None;
+
+        let region_words = (profile.footprint_words / 64).max(1);
+        let coupling =
+            1.0 - physics.entropy_coupling * (profile.entropy_bits / 32.0).clamp(0.0, 1.0);
+        let temp_factor = (physics.beta_per_c * (op.temp_c - 50.0)).exp();
+        // Companion-bit probability per manifesting cell and per unit of
+        // (per-bit weak density × threshold fraction): 71 word-mates times
+        // the spatial-correlation boost.
+        let companion_scale = 71.0 * physics.multi_bit_correlation;
+
+        for rank_index in 0..ranks {
+            // Population randomness: fixed by (device, rank, temp, vdd).
+            let mut rng_pop = StdRng::seed_from_u64(mix_seed(
+                self.device.seed(),
+                rank_index as u64,
+                env_bits(op),
+                0x505F_C311, // population domain
+            ));
+            // Run randomness: discovery order, VRT states, burst arrivals.
+            let mut rng_run = StdRng::seed_from_u64(mix_seed(
+                self.device.seed(),
+                rank_index as u64,
+                op_bits(op),
+                run_seed,
+            ));
+            let rank = RankId::from_index(rank_index);
+            let expected = self.device.expected_weak_cells(
+                rank_index,
+                profile.footprint_words,
+                op.temp_c,
+                op.vdd_v,
+            );
+            let population = sample_poisson(expected, &mut rng_pop);
+
+            // word → discovery time of already-manifested cells, for
+            // multi-bit (pair) UE detection.
+            let mut manifested: HashMap<u64, f64> = HashMap::new();
+
+            for _ in 0..population {
+                // All per-cell physical attributes come from the population
+                // stream so they persist across TREFP settings.
+                let retention = law.sample(&mut rng_pop);
+                let word =
+                    sample_word_on_rank(profile.footprint_words, rank_index, ranks, &mut rng_pop);
+                let lane = rng_pop.gen_range(0..72u8);
+                let u_never: f64 = rng_pop.gen();
+                let u_reuse: f64 = rng_pop.gen();
+                let is_true_cell = rng_pop.gen_bool(physics.true_cell_fraction);
+                let u_bit: f64 = rng_pop.gen();
+
+                // Implicit refresh: accesses recharge the cells they touch
+                // (§II-C). Following the paper, the refresh period incurred
+                // by the program is its word-level reuse time, inflated by
+                // the cache filter (only accesses that reach DRAM refresh
+                // the stored row copy).
+                let t_reuse = if u_never < profile.never_reused_fraction {
+                    f64::INFINITY
+                } else {
+                    profile.reuse.sample_at(u_reuse) / profile.dram_filter.max(0.05)
+                };
+                let t_eff = op.trefp_s.min(t_reuse);
+
+                // Data-dependent vulnerability: a leak flips the bit only
+                // when the stored value holds the cell in its charged
+                // state; bit-line coupling shortens the effective retention
+                // with the written pattern's entropy.
+                let stored_one = u_bit < profile.one_density.clamp(0.0, 1.0);
+                let vulnerable = is_true_cell == stored_one;
+                let retention_eff = retention * coupling;
+
+                if !(vulnerable && retention_eff < t_eff) {
+                    continue;
+                }
+
+                let region = ((word as u128 * 64) / profile.footprint_words as u128) as usize;
+                let share = profile.region_shares.get(region).copied().unwrap_or(0.0);
+                let read_rate_word = profile.dram_read_rate_hz * share / region_words as f64
+                    + physics.scrub_rate_hz;
+                if let Some(t) = discovery_time(physics, read_rate_word, duration_s, &mut rng_run) {
+                    // Spatially-correlated companion bit: the same gating
+                    // (threshold, coupling) applied to a clustered
+                    // neighbour. Two bad bits in one word: instant UE.
+                    let p_companion = (physics.weak_density(op.temp_c, op.vdd_v)
+                        * self.device.variation().factor(rank_index)
+                        * law.fraction_below(t_eff / coupling.max(1e-9))
+                        * companion_scale)
+                        .clamp(0.0, 1.0);
+                    if rng_run.gen_bool(p_companion) {
+                        if earliest_ue.map_or(true, |ue| t < ue.t_s) {
+                            earliest_ue = Some(UeEvent { t_s: t, rank });
+                        }
+                        continue;
+                    }
+                    record_ce(
+                        &mut ce_events,
+                        &mut manifested,
+                        &mut earliest_ue,
+                        CeEvent { t_s: t, word, lane, rank },
+                    );
+                }
+            }
+
+            // Disturbance channel: single-bit flips from cell-to-cell
+            // interference, proportional to the row-activation rate (the
+            // paper's dominant workload effect). Victims are spread over
+            // the rows the workload activates.
+            let act_per_rank = profile.row_activation_rate_hz / ranks as f64;
+            let disturb_mean = physics.disturb_flips_per_activation
+                * act_per_rank
+                * duration_s
+                * temp_factor
+                * (physics.disturb_alpha_per_s * (op.trefp_s - 2.283)).exp()
+                * self.device.variation().factor(rank_index);
+            let disturb_flips = sample_poisson(disturb_mean, &mut rng_run);
+            for _ in 0..disturb_flips {
+                let word =
+                    sample_word_on_rank(profile.footprint_words, rank_index, ranks, &mut rng_run);
+                let lane = rng_run.gen_range(0..72u8);
+                let region = ((word as u128 * 64) / profile.footprint_words as u128) as usize;
+                let share = profile.region_shares.get(region).copied().unwrap_or(0.0);
+                let read_rate_word = profile.dram_read_rate_hz * share / region_words as f64
+                    + physics.scrub_rate_hz;
+                if let Some(t) = discovery_time(physics, read_rate_word, duration_s, &mut rng_run) {
+                    record_ce(
+                        &mut ce_events,
+                        &mut manifested,
+                        &mut earliest_ue,
+                        CeEvent { t_s: t, word, lane, rank },
+                    );
+                }
+            }
+
+            // OS-resident cold pages: outside the benchmark's footprint and
+            // almost never re-read, so they rely purely on auto-refresh. A
+            // pair collision here is a kernel-memory UE — instant crash.
+            let os_words_rank = physics.os_resident_words / ranks as u64;
+            let os_expected = physics.weak_density(op.temp_c, op.vdd_v)
+                * self.device.variation().factor(rank_index)
+                * os_words_rank as f64
+                * 72.0;
+            let os_population = sample_poisson(os_expected, &mut rng_pop);
+            let mut os_manifested: HashMap<u64, f64> = HashMap::new();
+            let p_companion_os = (physics.weak_density(op.temp_c, op.vdd_v)
+                * self.device.variation().factor(rank_index)
+                * law.fraction_below(op.trefp_s)
+                * companion_scale)
+                .clamp(0.0, 1.0);
+            for _ in 0..os_population {
+                let retention = law.sample(&mut rng_pop);
+                let word = rng_pop.gen_range(0..os_words_rank.max(1));
+                let is_true_cell = rng_pop.gen_bool(physics.true_cell_fraction);
+                let stored_one = rng_pop.gen_bool(0.5); // kernel pages: mixed data
+                if !(is_true_cell == stored_one && retention < op.trefp_s) {
+                    continue;
+                }
+                if let Some(t) =
+                    discovery_time(physics, physics.scrub_rate_hz, duration_s, &mut rng_run)
+                {
+                    if rng_run.gen_bool(p_companion_os) {
+                        if earliest_ue.map_or(true, |ue| t < ue.t_s) {
+                            earliest_ue = Some(UeEvent { t_s: t, rank });
+                        }
+                        continue;
+                    }
+                    if let Some(first) = os_manifested.insert(word, t) {
+                        let t_ue = first.max(t);
+                        if earliest_ue.map_or(true, |ue| t_ue < ue.t_s) {
+                            earliest_ue = Some(UeEvent { t_s: t_ue, rank });
+                        }
+                    }
+                }
+            }
+
+            // Disturbance bursts: clustered multi-bit flips from sustained
+            // hammering; quadratic in the activation rate so that parallel
+            // memory-intensive workloads dominate at shorter TREFP
+            // (Fig. 9a).
+            let burst_rate = physics.ue_burst_coeff
+                * profile.row_activation_rate_hz.powi(2)
+                * duration_s
+                * (physics.ue_burst_beta_per_c * (op.temp_c - 70.0)).exp()
+                * (physics.ue_burst_alpha_per_s * (op.trefp_s - 1.45)).exp()
+                * ue_rank_share(self.device, rank_index);
+            let bursts = sample_poisson(burst_rate, &mut rng_run);
+            if bursts > 0 {
+                let t_burst = rng_run.gen_range(0.0..duration_s);
+                if earliest_ue.map_or(true, |ue| t_burst < ue.t_s) {
+                    earliest_ue = Some(UeEvent { t_s: t_burst, rank });
+                }
+            }
+        }
+
+        // A UE crashes the system: drop CEs that would have been discovered
+        // after the crash.
+        if let Some(ue) = earliest_ue {
+            ce_events.retain(|e| e.t_s <= ue.t_s);
+        }
+        ce_events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+
+        RunResult {
+            ce_events,
+            ue: earliest_ue,
+            footprint_words: profile.footprint_words,
+            duration_s,
+        }
+    }
+}
+
+/// Adds a CE, upgrading to a UE when a second corrupted bit lands in an
+/// already-manifested word.
+fn record_ce(
+    ce_events: &mut Vec<CeEvent>,
+    manifested: &mut HashMap<u64, f64>,
+    earliest_ue: &mut Option<UeEvent>,
+    event: CeEvent,
+) {
+    match manifested.insert(event.word, event.t_s) {
+        Some(first_time) => {
+            let t_ue = first_time.max(event.t_s);
+            if earliest_ue.map_or(true, |ue| t_ue < ue.t_s) {
+                *earliest_ue = Some(UeEvent { t_s: t_ue, rank: event.rank });
+            }
+        }
+        None => ce_events.push(event),
+    }
+}
+
+/// Discovery delay: stochastic failure onset plus the next read/scrub.
+/// Cells starting in the benign VRT state wait for a toggle first.
+fn discovery_time(
+    physics: &crate::config::ErrorPhysics,
+    read_rate_hz: f64,
+    duration_s: f64,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    let mut t = sample_exp(physics.onset_rate_hz, rng) + sample_exp(read_rate_hz, rng);
+    if !rng.gen_bool(physics.vrt_active_fraction) {
+        t += sample_exp(physics.vrt_toggle_rate_hz, rng);
+    }
+    (t <= duration_s).then_some(t)
+}
+
+/// The share of burst-UE intensity attributed to a rank: proportional to the
+/// *square* of its weak-cell factor, concentrating UEs on the weakest ranks
+/// as in Fig. 9b.
+fn ue_rank_share(device: &DramDevice, rank_index: usize) -> f64 {
+    let factors = device.variation().factors();
+    let sum_sq: f64 = factors.iter().map(|f| f * f).sum();
+    factors[rank_index].powi(2) / sum_sq
+}
+
+/// Samples a uniformly-random 64-bit word index that interleaves onto the
+/// given rank (words interleave by 64-byte line round-robin).
+fn sample_word_on_rank(footprint_words: u64, rank_index: usize, ranks: usize, rng: &mut StdRng) -> u64 {
+    let lines = (footprint_words / 8).max(1);
+    let lines_per_rank = (lines / ranks as u64).max(1);
+    let line_on_rank = rng.gen_range(0..lines_per_rank);
+    let line = line_on_rank * ranks as u64 + rank_index as u64;
+    (line * 8 + rng.gen_range(0..8)).min(footprint_words - 1)
+}
+
+fn sample_poisson(mean: f64, rng: &mut StdRng) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // rand_distr's Poisson panics for enormous means; those are far beyond
+    // the modelled regime but guard anyway.
+    let mean = mean.min(5.0e7);
+    Poisson::new(mean).map(|d| d.sample(rng) as u64).unwrap_or(0)
+}
+
+fn sample_exp(rate_hz: f64, rng: &mut StdRng) -> f64 {
+    if rate_hz <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate_hz
+}
+
+/// Environment bits for the *population* seed: temperature and voltage only
+/// (the same cells exist at every refresh period).
+fn env_bits(op: OperatingPoint) -> u64 {
+    let v = (op.vdd_v * 1e6) as u64;
+    let c = (op.temp_c * 1e3) as u64;
+    v.rotate_left(21) ^ c.rotate_left(42)
+}
+
+/// Folds the full operating point into seed material for run randomness.
+fn op_bits(op: OperatingPoint) -> u64 {
+    let t = (op.trefp_s * 1e6) as u64;
+    t ^ env_bits(op)
+}
+
+/// SplitMix64-style seed mixing for statistically independent streams.
+fn mix_seed(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(34))
+        .wrapping_add(d.rotate_left(51));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorPhysics;
+
+    const GIB_WORDS: u64 = 1 << 27; // 1 GiB of 64-bit words
+
+    fn device() -> DramDevice {
+        DramDevice::with_seed(39)
+    }
+
+    fn profile() -> DramUsageProfile {
+        DramUsageProfile::uniform_synthetic(GIB_WORDS)
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 50.0);
+        let a = sim.run(&profile(), op, 7200.0, 5);
+        let b = sim.run(&profile(), op, 7200.0, 5);
+        assert_eq!(a, b);
+        let c = sim.run(&profile(), op, 7200.0, 6);
+        assert_ne!(a, c, "different run seeds should differ (VRT/discovery)");
+    }
+
+    #[test]
+    fn populations_persist_across_trefp() {
+        // The same weak cells must fail at 1.727 s and 2.283 s: the shorter
+        // threshold's error words are a subset of the longer's.
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let p = profile();
+        let a = sim.run(&p, OperatingPoint::relaxed(1.727, 60.0), 7200.0, 1);
+        let b = sim.run(&p, OperatingPoint::relaxed(2.283, 60.0), 7200.0, 1);
+        let words_b: std::collections::HashSet<u64> =
+            b.ce_events.iter().map(|e| e.word).collect();
+        let retained = a
+            .ce_events
+            .iter()
+            .filter(|e| words_b.contains(&e.word))
+            .count();
+        // Discovery truncation and the disturbance channel add noise, but
+        // the bulk of the shorter-TREFP errors must reappear.
+        assert!(
+            retained as f64 >= 0.6 * a.ce_events.len() as f64,
+            "only {retained}/{} persisted",
+            a.ce_events.len()
+        );
+    }
+
+    #[test]
+    fn wer_grows_exponentially_with_trefp() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let p = DramUsageProfile::uniform_synthetic(1 << 30);
+        let mut prev = 0.0;
+        for &t in &OperatingPoint::WER_TREFP_SWEEP {
+            let r = sim.run(&p, OperatingPoint::relaxed(t, 60.0), 7200.0, 1);
+            let wer = r.wer();
+            assert!(wer > prev, "WER must grow with TREFP: {wer} after {prev}");
+            if prev > 0.0 {
+                assert!(wer / prev > 2.0, "growth should be strong: {}", wer / prev);
+            }
+            prev = wer;
+        }
+    }
+
+    #[test]
+    fn hotter_means_more_errors() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op50 = OperatingPoint::relaxed(2.283, 50.0);
+        let op60 = OperatingPoint::relaxed(2.283, 60.0);
+        let w50 = sim.run(&profile(), op50, 7200.0, 1).wer();
+        let w60 = sim.run(&profile(), op60, 7200.0, 1).wer();
+        assert!(w60 > 5.0 * w50, "60°C {w60} vs 50°C {w50}");
+    }
+
+    #[test]
+    fn nominal_refresh_is_clean() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let r = sim.run(&profile(), OperatingPoint::nominal(), 7200.0, 1);
+        assert_eq!(r.ce_events.len(), 0, "64 ms refresh must not leak");
+        assert!(!r.crashed());
+    }
+
+    #[test]
+    fn fast_reuse_suppresses_errors() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 60.0);
+        let slow = profile(); // 5 s reuse > TREFP: no protection
+        let mut fast = profile();
+        fast.reuse = crate::ReuseQuantiles::constant(0.05);
+        fast.never_reused_fraction = 0.0;
+        fast.dram_filter = 1.0;
+        let w_slow = sim.run(&slow, op, 7200.0, 1).wer();
+        let w_fast = sim.run(&fast, op, 7200.0, 1).wer();
+        assert!(
+            w_fast < w_slow / 3.0,
+            "implicit refresh should suppress errors: fast {w_fast} slow {w_slow}"
+        );
+    }
+
+    #[test]
+    fn high_activation_rate_disturbs() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 60.0);
+        let mut calm = profile();
+        calm.row_activation_rate_hz = 1.0e4;
+        let mut hot = calm.clone();
+        hot.row_activation_rate_hz = 2.0e7;
+        let w_calm = sim.run(&calm, op, 7200.0, 2).wer();
+        let w_hot = sim.run(&hot, op, 7200.0, 2).wer();
+        assert!(w_hot > w_calm, "disturbance must raise WER: {w_hot} vs {w_calm}");
+    }
+
+    #[test]
+    fn disturbance_ablation_removes_the_effect() {
+        let physics = ErrorPhysics::calibrated().without_disturbance();
+        let d = DramDevice::with_parts(39, crate::ServerGeometry::x_gene2(), physics);
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 60.0);
+        let mut calm = profile();
+        calm.row_activation_rate_hz = 1.0e4;
+        let mut hot = calm.clone();
+        hot.row_activation_rate_hz = 2.0e7;
+        let w_calm = sim.run(&calm, op, 7200.0, 2).wer();
+        let w_hot = sim.run(&hot, op, 7200.0, 2).wer();
+        let ratio = w_hot / w_calm.max(1e-300);
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "ablated physics must not react to activation rate: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn max_trefp_at_70c_crashes() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 70.0);
+        let crashes = (0..5)
+            .filter(|&s| sim.run(&profile(), op, 7200.0, s).crashed())
+            .count();
+        assert!(crashes >= 4, "max TREFP at 70 °C should almost always crash: {crashes}/5");
+    }
+
+    #[test]
+    fn cool_runs_rarely_crash() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(1.450, 50.0);
+        let crashes = (0..5)
+            .filter(|&s| sim.run(&profile(), op, 7200.0, s).crashed())
+            .count();
+        assert_eq!(crashes, 0, "50 °C runs must not crash");
+    }
+
+    #[test]
+    fn rank_variation_shows_up_in_results() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 60.0);
+        let per_rank = sim.run(&profile(), op, 7200.0, 3).wer_per_rank();
+        let max = per_rank.iter().cloned().fold(f64::MIN, f64::max);
+        let min_nonzero = per_rank.iter().cloned().filter(|&w| w > 0.0).fold(f64::MAX, f64::min);
+        assert!(max / min_nonzero > 5.0, "rank spread: {}", max / min_nonzero);
+    }
+
+    #[test]
+    fn timeline_converges_within_two_hours() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 60.0);
+        let r = sim.run(&profile(), op, 7200.0, 4);
+        let w_110 = r.wer_at(6600.0);
+        let w_120 = r.wer_at(7200.0);
+        assert!(w_120 > 0.0);
+        let change = (w_120 - w_110) / w_120;
+        assert!(change < 0.10, "last-10-minute change {change} too large");
+        assert!(r.wer_at(1800.0) < 0.8 * w_120);
+    }
+
+    #[test]
+    fn zero_entropy_data_is_safer_than_random() {
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 60.0);
+        let mut plain = profile();
+        plain.entropy_bits = 0.0;
+        let mut random = profile();
+        random.entropy_bits = 32.0;
+        let w_plain = sim.run(&plain, op, 7200.0, 9).wer();
+        let w_random = sim.run(&random, op, 7200.0, 9).wer();
+        assert!(w_random > w_plain, "coupling: random {w_random} vs plain {w_plain}");
+    }
+}

@@ -1,0 +1,93 @@
+//! The three input feature sets of Table III.
+
+use crate::schema;
+use serde::{Deserialize, Serialize};
+
+/// Table III's input sets. The operating parameters (`TEMP_DRAM`,
+/// `TREFP`, `VDD`) are always appended by the model layer; this enum
+/// selects the *program-feature* subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Set 1: wait cycles, memory accesses per cycle, `H_DP`, `Treuse`.
+    Set1,
+    /// Set 2: wait cycles and memory accesses per cycle only.
+    Set2,
+    /// Set 3: all 249 program features.
+    Set3,
+}
+
+impl FeatureSet {
+    /// All sets, in Table III order.
+    pub const ALL: [FeatureSet; 3] = [FeatureSet::Set1, FeatureSet::Set2, FeatureSet::Set3];
+
+    /// The schema indices of this set's program features.
+    pub fn indices(&self) -> Vec<usize> {
+        match self {
+            FeatureSet::Set1 => vec![
+                schema::SOC_WAIT_CYCLE_RATIO,
+                schema::SOC_MEM_ACCESSES_PER_CYCLE,
+                schema::HDP,
+                schema::TREUSE,
+            ],
+            FeatureSet::Set2 => {
+                vec![schema::SOC_WAIT_CYCLE_RATIO, schema::SOC_MEM_ACCESSES_PER_CYCLE]
+            }
+            FeatureSet::Set3 => (0..schema::FEATURE_COUNT).collect(),
+        }
+    }
+
+    /// Paper-style description of the set (Table III rows).
+    pub fn description(&self) -> &'static str {
+        match self {
+            FeatureSet::Set1 => {
+                "TEMP_DRAM, TREFP, wait cycles, memory accesses, H_DP, Treuse"
+            }
+            FeatureSet::Set2 => "TEMP_DRAM, TREFP, wait cycles, memory accesses",
+            FeatureSet::Set3 => "TEMP_DRAM, TREFP, all program features",
+        }
+    }
+}
+
+impl core::fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FeatureSet::Set1 => f.write_str("Input set 1"),
+            FeatureSet::Set2 => f.write_str("Input set 2"),
+            FeatureSet::Set3 => f.write_str("Input set 3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_sizes_match_table_iii() {
+        assert_eq!(FeatureSet::Set1.indices().len(), 4);
+        assert_eq!(FeatureSet::Set2.indices().len(), 2);
+        assert_eq!(FeatureSet::Set3.indices().len(), 249);
+    }
+
+    #[test]
+    fn set2_is_subset_of_set1() {
+        let s1 = FeatureSet::Set1.indices();
+        for i in FeatureSet::Set2.indices() {
+            assert!(s1.contains(&i));
+        }
+    }
+
+    #[test]
+    fn set1_contains_the_novel_features() {
+        let s1 = FeatureSet::Set1.indices();
+        assert!(s1.contains(&schema::TREUSE));
+        assert!(s1.contains(&schema::HDP));
+    }
+
+    #[test]
+    fn descriptions_mention_operating_parameters() {
+        for set in FeatureSet::ALL {
+            assert!(set.description().contains("TREFP"));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The per-sample feature vector.
+
+use crate::schema;
+use serde::{Deserialize, Serialize};
+
+/// One sample's 249 feature values, indexed by the [`schema`] layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// An all-zero vector.
+    pub fn zeroed() -> Self {
+        Self { values: vec![0.0; schema::FEATURE_COUNT] }
+    }
+
+    /// Builds from exactly [`schema::FEATURE_COUNT`] values.
+    ///
+    /// # Panics
+    /// Panics on a wrong length or non-finite entries.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), schema::FEATURE_COUNT, "wrong feature count");
+        assert!(values.iter().all(|v| v.is_finite()), "features must be finite");
+        Self { values }
+    }
+
+    /// The value of feature `index`.
+    pub fn get(&self, index: usize) -> f64 {
+        self.values[index]
+    }
+
+    /// Sets feature `index` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `value` is not finite.
+    pub fn set(&mut self, index: usize, value: f64) {
+        assert!(value.is_finite(), "feature {index} set to non-finite {value}");
+        self.values[index] = value;
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Projects the vector onto a subset of feature indices.
+    pub fn project(&self, indices: &[usize]) -> Vec<f64> {
+        indices.iter().map(|&i| self.values[i]).collect()
+    }
+}
+
+impl Default for FeatureVector {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_has_full_length() {
+        assert_eq!(FeatureVector::zeroed().values().len(), schema::FEATURE_COUNT);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = FeatureVector::zeroed();
+        v.set(schema::TREUSE, 1.5);
+        assert_eq!(v.get(schema::TREUSE), 1.5);
+    }
+
+    #[test]
+    fn projection_selects_in_order() {
+        let mut v = FeatureVector::zeroed();
+        v.set(3, 30.0);
+        v.set(1, 10.0);
+        assert_eq!(v.project(&[1, 3]), vec![10.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        FeatureVector::zeroed().set(0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong feature count")]
+    fn wrong_length_rejected() {
+        FeatureVector::from_values(vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Random decision forests: bagged CART trees with feature subsampling.
+
+use crate::model::{validate_training_input, Regressor, Trainer};
+use crate::tree::{DecisionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestTrainer {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree growth parameters (`mtry = 0` means `√dim`, chosen at
+    /// training time).
+    pub params: TreeParams,
+    /// RNG seed for bootstrap/feature sampling (deterministic training).
+    pub seed: u64,
+}
+
+impl ForestTrainer {
+    /// Creates a trainer with `trees` trees and default growth parameters.
+    pub fn new(trees: usize) -> Self {
+        assert!(trees > 0, "at least one tree required");
+        Self { trees, params: TreeParams::default(), seed: 0xF0FE_57 }
+    }
+
+    /// The paper-scale configuration (100 trees).
+    pub fn paper_default() -> Self {
+        Self::new(100)
+    }
+}
+
+impl Trainer for ForestTrainer {
+    type Model = ForestRegressor;
+
+    fn train(&self, x: &[Vec<f64>], y: &[f64]) -> ForestRegressor {
+        let dim = validate_training_input(x, y);
+        let n = x.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mtry = if self.params.mtry == 0 {
+            ((dim as f64).sqrt().ceil() as usize).max(1)
+        } else {
+            self.params.mtry
+        };
+        let params = TreeParams { mtry, ..self.params };
+
+        let trees = (0..self.trees)
+            .map(|_| {
+                // Bootstrap sample (with replacement).
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                DecisionTree::grow(x, y, &idx, params, &mut rng)
+            })
+            .collect();
+        ForestRegressor { trees }
+    }
+}
+
+/// A trained forest: predictions average the trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestRegressor {
+    trees: Vec<DecisionTree>,
+}
+
+impl ForestRegressor {
+    /// Number of trees in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for ForestRegressor {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_fits_nonlinear_targets() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 6.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].sin() * 5.0).collect();
+        let model = ForestTrainer::new(30).train(&x, &y);
+        let mut worst: f64 = 0.0;
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            worst = worst.max((model.predict(xi) - yi).abs());
+        }
+        assert!(worst < 1.5, "worst error {worst}");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let a = ForestTrainer::new(10).train(&x, &y);
+        let b = ForestTrainer::new(10).train(&x, &y);
+        for q in [[0.5, 3.0], [20.0, 1.0]] {
+            assert_eq!(a.predict(&q), b.predict(&q));
+        }
+    }
+
+    #[test]
+    fn robust_to_irrelevant_features() {
+        // 1 informative + 19 noise features; the forest must still find the
+        // signal (this robustness is why RDF handles input set 3 best in
+        // Fig. 11c).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let mut row = vec![(i % 2) as f64 * 10.0];
+            for j in 1..20 {
+                row.push(((i as u64 * j as u64 * 2654435761) % 100) as f64);
+            }
+            x.push(row);
+            y.push((i % 2) as f64 * 100.0);
+        }
+        let model = ForestTrainer::new(60).train(&x, &y);
+        let mut q0 = vec![0.0; 20];
+        let mut q1 = vec![10.0; 20];
+        q0[0] = 0.0;
+        q1[0] = 10.0;
+        assert!(model.predict(&q1) - model.predict(&q0) > 50.0);
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        assert_eq!(ForestTrainer::new(7).train(&x, &y).tree_count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        ForestTrainer::new(0);
+    }
+}

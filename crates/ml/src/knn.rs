@@ -1,0 +1,149 @@
+//! K-nearest-neighbours regression — the paper's most accurate model.
+
+use crate::model::{validate_training_input, Regressor, Trainer};
+use crate::scale::StandardScaler;
+use serde::{Deserialize, Serialize};
+
+/// KNN trainer (hyper-parameter: `k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnTrainer {
+    k: usize,
+}
+
+impl KnnTrainer {
+    /// Creates a trainer with the given neighbour count.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k }
+    }
+
+    /// The paper's configuration (k = 4 neighbours works well on ~10
+    /// operating points per workload).
+    pub fn paper_default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl Trainer for KnnTrainer {
+    type Model = KnnRegressor;
+
+    fn train(&self, x: &[Vec<f64>], y: &[f64]) -> KnnRegressor {
+        validate_training_input(x, y);
+        let scaler = StandardScaler::fit(x);
+        KnnRegressor {
+            k: self.k,
+            x: scaler.transform_batch(x),
+            y: y.to_vec(),
+            scaler,
+        }
+    }
+}
+
+/// Trained KNN model: memorised (z-scored) training set with
+/// inverse-distance-weighted prediction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    scaler: StandardScaler,
+}
+
+impl Regressor for KnnRegressor {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let q = self.scaler.transform(features);
+        // Collect (distance², target) and take the k smallest.
+        let mut dist: Vec<(f64, f64)> = self
+            .x
+            .iter()
+            .zip(self.y.iter())
+            .map(|(row, &t)| {
+                let d2: f64 = row.iter().zip(q.iter()).map(|(a, b)| (a - b).powi(2)).sum();
+                (d2, t)
+            })
+            .collect();
+        let k = self.k.min(dist.len());
+        dist.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).unwrap());
+        let neighbours = &dist[..k];
+
+        // Inverse-distance weighting; an exact hit dominates.
+        let mut wsum = 0.0;
+        let mut acc = 0.0;
+        for &(d2, t) in neighbours {
+            if d2 < 1e-18 {
+                return t;
+            }
+            let w = 1.0 / d2.sqrt();
+            wsum += w;
+            acc += w * t;
+        }
+        acc / wsum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                x.push(vec![i as f64, j as f64]);
+                y.push(3.0 * i as f64 - 2.0 * j as f64);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn exact_training_point_is_reproduced() {
+        let (x, y) = grid_xy();
+        let model = KnnTrainer::new(4).train(&x, &y);
+        assert_eq!(model.predict(&[5.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn interpolation_is_close_on_smooth_targets() {
+        let (x, y) = grid_xy();
+        let model = KnnTrainer::new(4).train(&x, &y);
+        let pred = model.predict(&[4.5, 4.5]);
+        assert!((pred - 4.5).abs() < 1.5, "pred {pred}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_degrades_to_global_mean() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 10.0];
+        let model = KnnTrainer::new(50).train(&x, &y);
+        let pred = model.predict(&[0.5]);
+        assert!((pred - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_makes_axes_comparable() {
+        // Feature 1 has a huge scale; without z-scoring it would drown
+        // feature 0 entirely.
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1_000_000.0],
+            vec![2.0, 2_000_000.0],
+            vec![3.0, 3_000_000.0],
+        ];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let model = KnnTrainer::new(1).train(&x, &y);
+        // Query close to sample 2 in *scaled* space.
+        let pred = model.predict(&[2.1, 2_100_000.0]);
+        assert_eq!(pred, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KnnTrainer::new(0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Accuracy metrics.
+//!
+//! The paper reports the **mean percentage error** of its estimates
+//! (Figs. 11/12). For the word error rate, which spans five decades and is
+//! never zero in the evaluated samples, that is the classic MAPE. For the
+//! UE probability — frequently exactly 0 or 1 — we report the mean absolute
+//! error in percentage points (an MPE with a unit denominator), which is
+//! well-defined at zero and bounded like the paper's Fig. 12 values.
+
+/// Mean absolute percentage error: `mean(|pred − actual| / |actual|) × 100`.
+///
+/// Samples with `actual == 0` are skipped (undefined relative error).
+/// Returns 0 for an empty or all-zero-actual input.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mean_percentage_error(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, a) in pred.iter().zip(actual.iter()) {
+        if *a != 0.0 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Mean absolute error expressed in percentage points (×100). Suited to
+/// probability targets in `[0, 1]` such as `P_UE`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mean_absolute_error_percent(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pred.iter().zip(actual.iter()).map(|(p, a)| (p - a).abs()).sum();
+    100.0 * sum / pred.len() as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pred.iter().zip(actual.iter()).map(|(p, a)| (p - a).powi(2)).sum();
+    (sum / pred.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpe_of_exact_predictions_is_zero() {
+        assert_eq!(mean_percentage_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mpe_matches_hand_computation() {
+        // |1.1-1|/1 = 0.1, |1.8-2|/2 = 0.1 → 10 %.
+        let mpe = mean_percentage_error(&[1.1, 1.8], &[1.0, 2.0]);
+        assert!((mpe - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpe_skips_zero_actuals() {
+        let mpe = mean_percentage_error(&[5.0, 1.1], &[0.0, 1.0]);
+        assert!((mpe - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_percent_handles_probabilities() {
+        let mae = mean_absolute_error_percent(&[0.0, 0.9], &[0.1, 1.0]);
+        assert!((mae - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_penalises_outliers() {
+        let a = rmse(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = rmse(&[0.0, 0.0], &[0.0, 2.0]);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean_percentage_error(&[], &[]), 0.0);
+        assert_eq!(mean_absolute_error_percent(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+}

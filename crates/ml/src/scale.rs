@@ -1,0 +1,115 @@
+//! Feature standardisation (z-scoring).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature z-score scaler: `(x − mean) / std`.
+///
+/// Distance-based learners (KNN, RBF-SVR) are scale-sensitive; all WADE
+/// trainers standardise internally with statistics from the training fold
+/// only (no test-set leakage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on the rows.
+    ///
+    /// # Panics
+    /// Panics on empty input or ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged rows");
+            for (m, v) in means.iter_mut().zip(row.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for row in rows {
+            for ((var, v), m) in vars.iter_mut().zip(row.iter()).zip(means.iter()) {
+                *var += (v - m).powi(2);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                // Constant features scale to 0 (not NaN): std 1 keeps them inert.
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Transforms one row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms a batch of rows.
+    pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_unit_variance_after_transform() {
+        let rows = vec![vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform_batch(&rows);
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[j].powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaler = StandardScaler::fit(&rows);
+        assert_eq!(scaler.transform(&[5.0]), vec![0.0]);
+        assert!(scaler.transform(&[6.0])[0].is_finite());
+    }
+
+    #[test]
+    fn transform_is_affine() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let a = scaler.transform(&[0.0])[0];
+        let b = scaler.transform(&[10.0])[0];
+        let mid = scaler.transform(&[5.0])[0];
+        assert!((mid - (a + b) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        StandardScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,228 @@
+//! CART regression trees (variance-reduction splits).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Tree growth parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_split: usize,
+    /// Features considered per split (`mtry`); `0` = all features.
+    pub mtry: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 12, min_split: 4, mtry: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+impl DecisionTree {
+    /// Grows a tree on the index subset `idx` of `(x, y)` using `rng` for
+    /// feature subsampling.
+    pub fn grow(x: &[Vec<f64>], y: &[f64], idx: &[usize], params: TreeParams, rng: &mut StdRng) -> Self {
+        assert!(!idx.is_empty(), "cannot grow a tree on no samples");
+        let root = build(x, y, idx, params, rng, 0);
+        Self { root }
+    }
+
+    /// Predicts the target for one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree (leaves at depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+fn mean(y: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn sse(y: &[f64], idx: &[usize]) -> f64 {
+    let m = mean(y, idx);
+    idx.iter().map(|&i| (y[i] - m).powi(2)).sum()
+}
+
+fn build(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    params: TreeParams,
+    rng: &mut StdRng,
+    depth: usize,
+) -> Node {
+    if depth >= params.max_depth || idx.len() < params.min_split {
+        return Node::Leaf { value: mean(y, idx) };
+    }
+    let parent_sse = sse(y, idx);
+    if parent_sse <= 1e-18 {
+        return Node::Leaf { value: mean(y, idx) };
+    }
+
+    let dim = x[0].len();
+    let mut features: Vec<usize> = (0..dim).collect();
+    let consider = if params.mtry == 0 { dim } else { params.mtry.min(dim) };
+    features.shuffle(rng);
+    features.truncate(consider);
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &feat in &features {
+        // Candidate thresholds: midpoints of sorted unique values.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][feat]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for w in vals.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if x[i][feat] <= threshold {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let gain = parent_sse - sse(y, &left) - sse(y, &right);
+            if best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((feat, threshold, gain));
+            }
+        }
+    }
+
+    match best {
+        Some((feature, threshold, gain)) if gain > 1e-12 => {
+            let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if x[i][feature] <= threshold {
+                    left_idx.push(i);
+                } else {
+                    right_idx.push(i);
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(x, y, &left_idx, params, rng, depth + 1)),
+                right: Box::new(build(x, y, &right_idx, params, rng, depth + 1)),
+            }
+        }
+        _ => Node::Leaf { value: mean(y, idx) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let idx: Vec<usize> = (0..20).collect();
+        let tree = DecisionTree::grow(&x, &y, &idx, TreeParams::default(), &mut rng());
+        assert_eq!(tree.predict(&[3.0]), 1.0);
+        assert_eq!(tree.predict(&[15.0]), 5.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..64).collect();
+        let tree = DecisionTree::grow(
+            &x,
+            &y,
+            &idx,
+            TreeParams { max_depth: 3, min_split: 2, mtry: 0 },
+            &mut rng(),
+        );
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn pure_leaves_stop_early() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![2.0; 10];
+        let idx: Vec<usize> = (0..10).collect();
+        let tree = DecisionTree::grow(&x, &y, &idx, TreeParams::default(), &mut rng());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[100.0]), 2.0);
+    }
+
+    #[test]
+    fn splits_use_the_informative_feature() {
+        // Feature 0 is noise, feature 1 determines the target.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            x.push(vec![(i * 7 % 13) as f64, (i % 2) as f64]);
+            y.push(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let idx: Vec<usize> = (0..30).collect();
+        let tree = DecisionTree::grow(&x, &y, &idx, TreeParams::default(), &mut rng());
+        assert_eq!(tree.predict(&[5.0, 0.0]), 0.0);
+        assert_eq!(tree.predict(&[5.0, 1.0]), 10.0);
+    }
+
+    #[test]
+    fn extrapolation_is_piecewise_constant() {
+        // Trees cannot extrapolate: queries beyond the data return edge
+        // leaf values (this is why RDF loses to KNN on the exponential
+        // TREFP trend — the paper's Fig. 11 observation).
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| (i as f64).exp()).collect();
+        let idx: Vec<usize> = (0..10).collect();
+        let tree = DecisionTree::grow(&x, &y, &idx, TreeParams::default(), &mut rng());
+        assert_eq!(tree.predict(&[100.0]), tree.predict(&[9.0]));
+    }
+}

@@ -1,0 +1,120 @@
+//! The sink abstraction connecting workloads to instrumentation backends.
+
+use crate::event::MemAccess;
+
+/// Consumer of an instrumented execution.
+///
+/// Workload kernels are generic over the sink, so the same execution can be
+/// observed by the [`crate::Tracer`] (reuse/entropy statistics), by the
+/// memory-system simulator (cache/MCU counters), or by both at once through
+/// [`FanoutSink`].
+pub trait AccessSink {
+    /// Called for every memory access, in program order.
+    fn on_access(&mut self, access: MemAccess);
+
+    /// Called for batches of non-memory instructions executed between
+    /// accesses (arithmetic, branches, address generation).
+    fn on_instructions(&mut self, count: u64);
+}
+
+/// Sink that discards everything; useful for running a kernel purely for its
+/// side effects (e.g. warm-up) or measuring generator overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl AccessSink for NullSink {
+    fn on_access(&mut self, _access: MemAccess) {}
+    fn on_instructions(&mut self, _count: u64) {}
+}
+
+/// Broadcasts one execution to two sinks (tracer + SoC model, typically).
+///
+/// ```
+/// use wade_trace::{AccessSink, FanoutSink, MemAccess, Tracer};
+/// let mut fan = FanoutSink::new(Tracer::new(), Tracer::new());
+/// fan.on_access(MemAccess::read(0, 0));
+/// assert_eq!(fan.first().report().mem_accesses, 1);
+/// assert_eq!(fan.second().report().mem_accesses, 1);
+/// ```
+#[derive(Debug)]
+pub struct FanoutSink<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: AccessSink, B: AccessSink> FanoutSink<A, B> {
+    /// Creates a fanout over two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+
+    /// The first sink.
+    pub fn first(&self) -> &A {
+        &self.a
+    }
+
+    /// The second sink.
+    pub fn second(&self) -> &B {
+        &self.b
+    }
+
+    /// Consumes the fanout, returning both sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: AccessSink, B: AccessSink> AccessSink for FanoutSink<A, B> {
+    fn on_access(&mut self, access: MemAccess) {
+        self.a.on_access(access);
+        self.b.on_access(access);
+    }
+
+    fn on_instructions(&mut self, count: u64) {
+        self.a.on_instructions(count);
+        self.b.on_instructions(count);
+    }
+}
+
+impl<S: AccessSink + ?Sized> AccessSink for &mut S {
+    fn on_access(&mut self, access: MemAccess) {
+        (**self).on_access(access);
+    }
+
+    fn on_instructions(&mut self, count: u64) {
+        (**self).on_instructions(count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.on_access(MemAccess::read(0, 0));
+        sink.on_instructions(1000);
+    }
+
+    #[test]
+    fn fanout_duplicates_events() {
+        let mut fan = FanoutSink::new(Tracer::new(), Tracer::new());
+        fan.on_access(MemAccess::write(8, 5, 0));
+        fan.on_instructions(7);
+        let (a, b) = fan.into_inner();
+        assert_eq!(a.report().mem_accesses, b.report().mem_accesses);
+        assert_eq!(a.report().instructions, b.report().instructions);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        fn feed(sink: &mut impl AccessSink) {
+            sink.on_access(MemAccess::read(16, 0));
+        }
+        let mut tracer = Tracer::new();
+        feed(&mut &mut tracer);
+        assert_eq!(tracer.report().mem_accesses, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: characterize a server, train the model, predict error rates
+//! for an unseen workload.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use wade::core::{train_error_model, Campaign, CampaignConfig, MlKind, SimulatedServer};
+use wade::dram::OperatingPoint;
+use wade::features::FeatureSet;
+use wade::workloads::{paper_suite, Scale, WorkloadId};
+
+fn main() {
+    // A server whose 72 DRAM chips are "manufactured" from a seed: per-rank
+    // weak-cell densities, true/anti-cell mixes, the lot.
+    let server = SimulatedServer::with_seed(42);
+    println!(
+        "server ready: {} chips, rank-to-rank reliability spread {:.0}x",
+        server.device().geometry().total_chips(),
+        server.device().variation().spread()
+    );
+
+    // Collect a reduced characterization campaign over the paper's 14
+    // workload configurations (use CampaignConfig::paper_full() and
+    // Scale::Full for the real grid; this example favours speed).
+    let suite = paper_suite(Scale::Test);
+    let campaign = Campaign::new(server, CampaignConfig::quick());
+    let data = campaign.collect(&suite, 7);
+    println!(
+        "campaign collected: {} rows, {:.0} simulated hours compressed into this run",
+        data.rows.len(),
+        data.simulated_seconds / 3600.0
+    );
+
+    // Train the workload-aware error model (eq. 1): KNN on input set 1,
+    // the paper's most accurate combination.
+    let model = train_error_model(&data, MlKind::Knn, FeatureSet::Set1);
+    println!("trained: {model:?}");
+
+    // Predict for a workload the model knows nothing special about — only
+    // its extracted program features are used.
+    let server = SimulatedServer::with_seed(42);
+    let unseen = WorkloadId::Srad.instantiate(8, Scale::Test);
+    let profiled = server.profile_workload(unseen.as_ref(), 99);
+    let op = OperatingPoint::relaxed(2.283, 60.0);
+    let wer = model.predict_wer_total(&profiled.features, op);
+    let pue = model.predict_pue(&profiled.features, OperatingPoint::relaxed(2.283, 70.0));
+    println!("\nprediction for {} at {op}:", profiled.name);
+    println!("  word error rate ≈ {wer:.2e}  (per 64-bit word, 2-hour run)");
+    println!("  crash probability at 2.283 s / 70 °C ≈ {pue:.2}");
+    println!("\n…computed in microseconds, versus a 2-hour characterization run.");
+}

@@ -1,0 +1,48 @@
+//! # WADE — Workload-Aware DRAM Error prediction
+//!
+//! A full Rust reproduction of *"Workload-Aware DRAM Error Prediction using
+//! Machine Learning"* (Mukhanov et al., IISWC 2019): characterize DRAM
+//! under relaxed refresh / lowered voltage / elevated temperature while
+//! running instrumented workloads, extract 249 program features, and train
+//! ML models that predict word error rates and crash probabilities per
+//! DIMM/rank — in microseconds instead of 2-hour campaigns.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `wade-core` | campaigns, data collection, the error model `M` |
+//! | [`dram`] | `wade-dram` | statistical DRAM device + error physics |
+//! | [`ecc`] | `wade-ecc` | SECDED (72,64) codec |
+//! | [`memsys`] | `wade-memsys` | SoC substrate (caches, cores, MCUs) |
+//! | [`trace`] | `wade-trace` | instrumentation (reuse time, data entropy) |
+//! | [`workloads`] | `wade-workloads` | executable mini-benchmarks |
+//! | [`features`] | `wade-features` | 249-feature schema + Spearman + Table III sets |
+//! | [`ml`] | `wade-ml` | KNN / ε-SVR / random forests / LOWO-CV |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wade::core::{Campaign, CampaignConfig, MlKind, SimulatedServer};
+//! use wade::features::FeatureSet;
+//! use wade::workloads::{paper_suite, Scale};
+//!
+//! // 1. A server with 72 simulated DRAM chips.
+//! let server = SimulatedServer::with_seed(42);
+//! // 2. Collect a (reduced) characterization campaign.
+//! let data = Campaign::new(server, CampaignConfig::quick())
+//!     .collect(&paper_suite(Scale::Test), 7);
+//! // 3. Train the error model and predict.
+//! let model = wade::core::train_error_model(&data, MlKind::Knn, FeatureSet::Set1);
+//! let row = &data.rows[0];
+//! assert!(model.predict_wer_total(&row.features, row.op) >= 0.0);
+//! ```
+
+pub use wade_core as core;
+pub use wade_dram as dram;
+pub use wade_ecc as ecc;
+pub use wade_features as features;
+pub use wade_memsys as memsys;
+pub use wade_ml as ml;
+pub use wade_trace as trace;
+pub use wade_workloads as workloads;

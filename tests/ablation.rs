@@ -1,0 +1,128 @@
+//! Ablations of the design choices called out in DESIGN.md §5.
+
+use wade::dram::{
+    DramDevice, DramUsageProfile, ErrorPhysics, ErrorSim, OperatingPoint, ServerGeometry,
+};
+use wade::ml::{metrics, KnnTrainer, Regressor, Trainer};
+
+/// DESIGN.md §5.1 — without the disturbance channel, the access-rate ↔ WER
+/// coupling disappears (and with it the paper's headline correlation).
+#[test]
+fn disturbance_ablation_kills_access_rate_coupling() {
+    let act_rates = [1.0e5, 1.0e6, 5.0e6, 2.0e7];
+    let wers = |physics: ErrorPhysics| -> Vec<f64> {
+        let device = DramDevice::with_parts(39, ServerGeometry::x_gene2(), physics);
+        let sim = ErrorSim::new(&device);
+        act_rates
+            .iter()
+            .map(|&act| {
+                let mut p = DramUsageProfile::uniform_synthetic(1 << 27);
+                p.row_activation_rate_hz = act;
+                sim.run(&p, OperatingPoint::relaxed(2.283, 60.0), 7200.0, 1).wer()
+            })
+            .collect()
+    };
+    let with = wers(ErrorPhysics::calibrated());
+    let without = wers(ErrorPhysics::calibrated().without_disturbance());
+    let with_ratio = with.last().unwrap() / with.first().unwrap();
+    let without_ratio = without.last().unwrap() / without.first().unwrap();
+    assert!(with_ratio > 1.3, "disturbance must couple WER to activations: {with_ratio}");
+    assert!(
+        without_ratio < with_ratio / 1.2,
+        "ablated physics must be flat(ter): {without_ratio} vs {with_ratio}"
+    );
+}
+
+/// DESIGN.md §5.2 — retention-channel WER estimates are stable across
+/// footprint scales: the weak-cell density is per-bit, so the expected WER
+/// is scale-free and the sampled estimate concentrates as footprints grow.
+/// (The disturbance channel is activation-driven — absolute flip counts —
+/// so it is excluded here by construction.)
+#[test]
+fn weak_cell_sampling_is_scale_stable() {
+    let device = DramDevice::with_parts(
+        39,
+        ServerGeometry::x_gene2(),
+        ErrorPhysics::calibrated().without_disturbance(),
+    );
+    let sim = ErrorSim::new(&device);
+    let op = OperatingPoint::relaxed(2.283, 60.0);
+    let mut wers = Vec::new();
+    for shift in [27u32, 28, 29, 30] {
+        let p = DramUsageProfile::uniform_synthetic(1u64 << shift);
+        // Average a few runs to tame Poisson noise at the smaller scales.
+        let mean: f64 =
+            (0..4).map(|s| sim.run(&p, op, 7200.0, s).wer()).sum::<f64>() / 4.0;
+        wers.push(mean);
+    }
+    let max = wers.iter().cloned().fold(f64::MIN, f64::max);
+    let min = wers.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 1.6,
+        "WER must be footprint-scale-free: {wers:?}"
+    );
+}
+
+/// DESIGN.md §5.3 — regressing WER in log space is essential: the target
+/// spans decades, and linear-space KNN is dominated by the largest samples.
+#[test]
+fn log_space_targets_beat_linear_space() {
+    // Synthetic WER-like data at campaign density: one sample per ~0.6
+    // decades, y = 10^(-9 + 2.5·x), x in [0, 4).
+    let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 / 4.0]).collect();
+    let y_linear: Vec<f64> = x.iter().map(|r| 10f64.powf(-9.0 + 2.5 * r[0])).collect();
+    let y_log: Vec<f64> = y_linear.iter().map(|v| v.log10()).collect();
+
+    let train_idx: Vec<usize> = (0..16).filter(|i| i % 2 == 0).collect();
+    let test_idx: Vec<usize> = (0..16).filter(|i| i % 2 == 1).collect();
+    let take = |idx: &[usize], rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+        idx.iter().map(|&i| rows[i].clone()).collect()
+    };
+    let take_y =
+        |idx: &[usize], vals: &[f64]| -> Vec<f64> { idx.iter().map(|&i| vals[i]).collect() };
+
+    let knn_lin = KnnTrainer::new(2).train(&take(&train_idx, &x), &take_y(&train_idx, &y_linear));
+    let knn_log = KnnTrainer::new(2).train(&take(&train_idx, &x), &take_y(&train_idx, &y_log));
+
+    let preds_lin: Vec<f64> =
+        take(&test_idx, &x).iter().map(|r| knn_lin.predict(r)).collect();
+    let preds_log: Vec<f64> =
+        take(&test_idx, &x).iter().map(|r| 10f64.powf(knn_log.predict(r))).collect();
+    let actuals = take_y(&test_idx, &y_linear);
+
+    let mpe_lin = metrics::mean_percentage_error(&preds_lin, &actuals);
+    let mpe_log = metrics::mean_percentage_error(&preds_log, &actuals);
+    assert!(
+        mpe_log < mpe_lin / 2.0,
+        "log-space must dominate: log {mpe_log:.1}% vs linear {mpe_lin:.1}%"
+    );
+}
+
+/// DESIGN.md §5.4 — the KNN k choice: k=1 is noise-brittle, huge k blurs
+/// toward the global mean; the paper-scale sweet spot lies between.
+#[test]
+fn knn_k_sweep_has_an_interior_optimum() {
+    // Smooth target + mild noise over a 2-D grid.
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..120 {
+        let a = (i % 12) as f64;
+        let b = (i / 12) as f64;
+        let noise = (((i as u64 * 2654435761) % 97) as f64 / 97.0 - 0.5) * 1.0;
+        x.push(vec![a, b]);
+        y.push(3.0 * a + b + noise);
+    }
+    let eval = |k: usize| -> f64 {
+        let train: Vec<usize> = (0..120).filter(|i| i % 5 != 0).collect();
+        let test: Vec<usize> = (0..120).filter(|i| i % 5 == 0).collect();
+        let tx: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
+        let ty: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+        let model = KnnTrainer::new(k).train(&tx, &ty);
+        let preds: Vec<f64> = test.iter().map(|&i| model.predict(&x[i])).collect();
+        let actuals: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+        metrics::rmse(&preds, &actuals)
+    };
+    let rmse_mid = eval(4);
+    let rmse_huge = eval(90);
+    assert!(rmse_mid < rmse_huge, "k=4 {rmse_mid} must beat k=90 {rmse_huge}");
+}

@@ -1,0 +1,88 @@
+//! Model-accuracy integration tests: the workload-aware model must beat the
+//! conventional workload-unaware baseline (§VI-C), and the Table III
+//! feature-set structure must hold.
+
+use wade::core::{
+    build_wer_dataset, evaluate_wer_accuracy, Campaign, CampaignConfig, MlKind, SimulatedServer,
+};
+use wade::features::FeatureSet;
+use wade::ml::metrics::mean_percentage_error;
+use wade::ml::{ConstantTrainer, Regressor, Trainer};
+use wade::workloads::{paper_suite, Scale};
+
+fn campaign_data() -> wade::core::CampaignData {
+    let server = SimulatedServer::with_seed(42);
+    Campaign::new(server, CampaignConfig::quick()).collect(&paper_suite(Scale::Test), 7)
+}
+
+/// Leave-one-workload-out MPE of a constant (workload-unaware) model on the
+/// same per-rank datasets the real models use.
+fn baseline_mpe(data: &wade::core::CampaignData, set: FeatureSet) -> f64 {
+    let mut errs = Vec::new();
+    for rank in 0..8 {
+        let ds = build_wer_dataset(data, set, rank);
+        if ds.len() < 6 || ds.groups().len() < 3 {
+            continue;
+        }
+        for group in ds.groups() {
+            let (train, test) = ds.split_leave_group_out(&group);
+            if train.len() < 4 || test.is_empty() {
+                continue;
+            }
+            let model = ConstantTrainer.train(&train.features(), &train.targets());
+            let preds: Vec<f64> =
+                test.features().iter().map(|r| 10f64.powf(model.predict(r))).collect();
+            let actuals: Vec<f64> = test.targets().iter().map(|t| 10f64.powf(*t)).collect();
+            errs.push(mean_percentage_error(&preds, &actuals));
+        }
+    }
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+#[test]
+fn workload_aware_model_beats_the_constant_baseline() {
+    // §VI-C: conventional modelling uses one constant per operating point;
+    // here the constant doesn't even get the op, making the gap starker —
+    // but even an op-aware constant cannot follow workload differences.
+    let data = campaign_data();
+    let knn = evaluate_wer_accuracy(&data, MlKind::Knn, FeatureSet::Set2);
+    let baseline = baseline_mpe(&data, FeatureSet::Set2);
+    assert!(knn.average.is_finite());
+    assert!(
+        knn.average < baseline,
+        "workload-aware KNN ({:.0}%) must beat the workload-unaware constant ({baseline:.0}%)",
+        knn.average
+    );
+    // The paper's 2.9× headline shows at full scale (see the fig13 binary);
+    // on this reduced Test-scale grid the workload spread is compressed,
+    // but the constant must still be off by a large margin.
+    assert!(baseline > 50.0, "baseline must be badly off: {baseline:.0}%");
+}
+
+#[test]
+fn every_learner_produces_finite_accuracy_for_every_set() {
+    let data = campaign_data();
+    for kind in MlKind::ALL {
+        for set in FeatureSet::ALL {
+            let report = evaluate_wer_accuracy(&data, kind, set);
+            assert!(
+                report.average.is_finite() && report.average >= 0.0,
+                "{kind}/{set}: {}",
+                report.average
+            );
+            assert_eq!(report.per_rank.len(), 8);
+        }
+    }
+}
+
+#[test]
+fn accuracy_report_covers_the_held_out_workloads() {
+    let data = campaign_data();
+    let report = evaluate_wer_accuracy(&data, MlKind::Knn, FeatureSet::Set1);
+    // Every workload with trainable samples appears in the per-application
+    // breakdown (Fig. 11d-f's x-axis).
+    assert!(report.per_workload.len() >= 6, "only {} workloads", report.per_workload.len());
+    for (name, err) in &report.per_workload {
+        assert!(err.is_finite(), "{name}: {err}");
+    }
+}

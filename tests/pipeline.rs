@@ -1,0 +1,87 @@
+//! End-to-end integration: profiling → characterization → dataset → model
+//! → prediction, across all workspace crates.
+
+use wade::core::{
+    build_pue_dataset, build_wer_dataset, train_error_model, Campaign, CampaignConfig, MlKind,
+    SimulatedServer,
+};
+use wade::dram::OperatingPoint;
+use wade::features::{schema, FeatureSet};
+use wade::workloads::{paper_suite, Scale};
+
+fn campaign_data() -> wade::core::CampaignData {
+    let server = SimulatedServer::with_seed(42);
+    Campaign::new(server, CampaignConfig::quick()).collect(&paper_suite(Scale::Test), 7)
+}
+
+#[test]
+fn full_pipeline_runs_and_predicts() {
+    let data = campaign_data();
+    assert_eq!(data.workloads().len(), 14, "the paper's 14 configurations");
+
+    for kind in MlKind::ALL {
+        let model = train_error_model(&data, kind, FeatureSet::Set1);
+        let row = &data.rows[0];
+        let wer = model.predict_wer_total(&row.features, row.op);
+        assert!(wer.is_finite() && wer >= 0.0, "{kind}: wer {wer}");
+        let pue = model.predict_pue(&row.features, OperatingPoint::relaxed(2.283, 70.0));
+        assert!((0.0..=1.0).contains(&pue), "{kind}: pue {pue}");
+    }
+}
+
+#[test]
+fn datasets_are_consistent_across_sets() {
+    let data = campaign_data();
+    for set in FeatureSet::ALL {
+        let ds = build_wer_dataset(&data, set, 0);
+        if !ds.is_empty() {
+            assert_eq!(ds.dim(), set.indices().len() + 3);
+        }
+        let pue = build_pue_dataset(&data, set);
+        assert!(!pue.is_empty(), "PUE grid always yields samples");
+    }
+}
+
+#[test]
+fn features_flow_from_execution_to_model_input() {
+    let server = SimulatedServer::with_seed(42);
+    let suite = paper_suite(Scale::Test);
+    for wl in suite.iter().take(4) {
+        let p = server.profile_workload(wl.as_ref(), 3);
+        // Every profiled workload produces a fully-populated feature vector…
+        assert!(p.features.values().iter().all(|v| v.is_finite()));
+        // …with live values in the star features.
+        assert!(p.features.get(schema::SOC_MEM_ACCESSES_PER_CYCLE) > 0.0, "{}", p.name);
+        assert!(p.features.get(schema::TREUSE) > 0.0, "{}", p.name);
+        // …and a valid DRAM usage profile.
+        p.profile.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    }
+}
+
+#[test]
+fn campaign_data_survives_json_roundtrip() {
+    let data = campaign_data();
+    let json = data.to_json().expect("serialise");
+    let back = wade::core::CampaignData::from_json(&json).expect("parse");
+    assert_eq!(back.rows.len(), data.rows.len());
+    // Retrained model on restored data behaves identically.
+    let m1 = train_error_model(&data, MlKind::Knn, FeatureSet::Set2);
+    let m2 = train_error_model(&back, MlKind::Knn, FeatureSet::Set2);
+    let row = &data.rows[3];
+    let p1 = m1.predict_wer_total(&row.features, row.op);
+    let p2 = m2.predict_wer_total(&row.features, row.op);
+    // Agreement through the serialise → train → log/pow pipeline: last-ulp
+    // input differences get amplified by inverse-distance weights near
+    // training points, so allow a small relative tolerance.
+    assert!((p1 - p2).abs() <= 1e-3 * p1.abs().max(p2.abs()), "{p1} vs {p2}");
+}
+
+#[test]
+fn predictions_respond_to_operating_point() {
+    let data = campaign_data();
+    let model = train_error_model(&data, MlKind::Knn, FeatureSet::Set2);
+    let row = &data.rows[0];
+    let cold = model.predict_wer_total(&row.features, OperatingPoint::relaxed(1.173, 50.0));
+    let hot = model.predict_wer_total(&row.features, OperatingPoint::relaxed(2.283, 60.0));
+    assert!(hot > cold, "hotter/longer-refresh must predict worse: {hot} vs {cold}");
+}

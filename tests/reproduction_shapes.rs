@@ -1,0 +1,132 @@
+//! Shape assertions against the paper's headline observations (DESIGN.md
+//! §6), on a reduced grid so they run in CI time.
+
+use wade::core::{Campaign, CampaignConfig, SimulatedServer};
+use wade::dram::{DramUsageProfile, ErrorSim, OperatingPoint};
+use wade::workloads::{paper_suite, Scale, WorkloadId};
+
+#[test]
+fn wer_varies_across_workloads() {
+    // Paper: up to 8× spread across benchmarks at a fixed operating point.
+    let server = SimulatedServer::with_seed(42);
+    let op = OperatingPoint::relaxed(2.283, 60.0);
+    let mut wers = Vec::new();
+    for wl in paper_suite(Scale::Test) {
+        let p = server.profile_workload(wl.as_ref(), 3);
+        let run = ErrorSim::new(server.device()).run(&p.profile, op, 7200.0, 1);
+        if run.wer() > 0.0 {
+            wers.push((wl.name(), run.wer()));
+        }
+    }
+    assert!(wers.len() >= 10, "most workloads must show errors at this op");
+    let max = wers.iter().map(|(_, w)| *w).fold(f64::MIN, f64::max);
+    let min = wers.iter().map(|(_, w)| *w).fold(f64::MAX, f64::min);
+    assert!(max / min > 3.0, "workload spread {:.1}x too small", max / min);
+}
+
+#[test]
+fn memcached_is_among_the_safest_workloads() {
+    // Paper: memcached has the lowest WER (fast implicit refresh). The
+    // workload calibration (Table II) holds at Full scale.
+    let server = SimulatedServer::with_seed(42);
+    let op = OperatingPoint::relaxed(2.283, 60.0);
+    let mut wers = Vec::new();
+    for wl in paper_suite(Scale::Full) {
+        let p = server.profile_workload(wl.as_ref(), 3);
+        let run = ErrorSim::new(server.device()).run(&p.profile, op, 7200.0, 1);
+        wers.push((wl.name(), run.wer()));
+    }
+    let memcached = wers.iter().find(|(n, _)| n == "memcached").unwrap().1;
+    let below = wers.iter().filter(|(_, w)| *w <= memcached).count();
+    assert!(
+        below <= 7,
+        "memcached must rank in the safer half (rank {below}/14, wer {memcached:.2e})"
+    );
+}
+
+#[test]
+fn rank_spread_matches_fig8_decade() {
+    let server = SimulatedServer::with_seed(42);
+    let profile = DramUsageProfile::uniform_synthetic(1 << 28);
+    let op = OperatingPoint::relaxed(2.283, 60.0);
+    let per_rank = ErrorSim::new(server.device()).run(&profile, op, 7200.0, 2).wer_per_rank();
+    let nz: Vec<f64> = per_rank.iter().copied().filter(|w| *w > 0.0).collect();
+    let spread = nz.iter().cloned().fold(f64::MIN, f64::max)
+        / nz.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread > 5.0, "rank spread {spread:.1}x (paper: up to 188x)");
+}
+
+#[test]
+fn pue_shape_matches_fig9() {
+    // 70 °C: crashes ramp with TREFP; 50 °C: none.
+    let server = SimulatedServer::with_seed(42);
+    let suite = vec![
+        WorkloadId::Fmm.instantiate(8, Scale::Full),
+        WorkloadId::Memcached.instantiate(8, Scale::Full),
+    ];
+    let campaign = Campaign::new(server, CampaignConfig::quick());
+    let data = campaign.collect(&suite, 3);
+    let pue_at = |trefp: f64, wl: &str| -> f64 {
+        data.rows
+            .iter()
+            .find(|r| {
+                r.workload == wl && !r.pue_runs.is_empty() && (r.op.trefp_s - trefp).abs() < 1e-6
+            })
+            .map(|r| r.pue())
+            .unwrap_or(f64::NAN)
+    };
+    let fmm_max = pue_at(2.283, "fmm(par)");
+    let mc_max = pue_at(2.283, "memcached");
+    assert!(
+        fmm_max.max(mc_max) > 0.6,
+        "max TREFP at 70°C must usually crash: fmm(par) {fmm_max}, memcached {mc_max}"
+    );
+    // WER rows at ≤60 °C never crash.
+    for row in &data.rows {
+        if let Some(run) = &row.wer_run {
+            assert!(!run.crashed, "{} crashed at {}", row.workload, row.op);
+        }
+    }
+}
+
+#[test]
+fn parallel_backprop_is_safer_than_serial() {
+    // Paper: backprop(par) implicitly refreshes more (shorter Treuse) →
+    // ~30 % lower WER than single-threaded backprop. The Treuse calibration
+    // (Table II) holds at Full scale.
+    let server = SimulatedServer::with_seed(42);
+    let op = OperatingPoint::relaxed(2.283, 60.0);
+    let serial = server.profile_workload(WorkloadId::Backprop.instantiate(1, Scale::Full).as_ref(), 3);
+    let par = server.profile_workload(WorkloadId::Backprop.instantiate(8, Scale::Full).as_ref(), 3);
+    assert!(
+        par.profile.reuse.mean() < serial.profile.reuse.mean(),
+        "par reuse {} must be shorter than serial {}",
+        par.profile.reuse.mean(),
+        serial.profile.reuse.mean()
+    );
+    // The WER *sign* of the parallel-vs-serial difference depends on the
+    // balance between extra implicit refresh (paper's backprop: −30 %) and
+    // extra disturbance from the higher access rate; the calibrated model
+    // keeps the two versions within a small factor of each other.
+    let wer_serial = ErrorSim::new(server.device()).run(&serial.profile, op, 7200.0, 1).wer();
+    let wer_par = ErrorSim::new(server.device()).run(&par.profile, op, 7200.0, 1).wer();
+    assert!(
+        wer_par < wer_serial * 6.0 && wer_serial < wer_par * 6.0,
+        "parallel and serial backprop must stay comparable: {wer_par:.2e} vs {wer_serial:.2e}"
+    );
+}
+
+#[test]
+fn kmeans_reuse_inversion_is_reproduced() {
+    // Paper Table II: kmeans(par) 0.50 s vs kmeans 0.17 s — the only
+    // family where the parallel version has the *longer* reuse time.
+    let server = SimulatedServer::with_seed(42);
+    let serial = server.profile_workload(WorkloadId::Kmeans.instantiate(1, Scale::Full).as_ref(), 3);
+    let par = server.profile_workload(WorkloadId::Kmeans.instantiate(8, Scale::Full).as_ref(), 3);
+    assert!(
+        par.profile.reuse.mean() > serial.profile.reuse.mean(),
+        "kmeans inversion: par {} must exceed serial {}",
+        par.profile.reuse.mean(),
+        serial.profile.reuse.mean()
+    );
+}
