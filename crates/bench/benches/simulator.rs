@@ -2,8 +2,9 @@
 //! disturbance on/off and weak-cell population scaling.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wade_core::{Campaign, CampaignConfig, SimulatedServer};
 use wade_dram::{DramDevice, DramUsageProfile, ErrorPhysics, ErrorSim, OperatingPoint, ServerGeometry};
-use wade_workloads::{Scale, WorkloadId};
+use wade_workloads::{paper_suite, Scale, WorkloadId};
 
 fn bench_characterization_run(c: &mut Criterion) {
     let device = DramDevice::with_seed(42);
@@ -81,11 +82,40 @@ fn bench_workload_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Fig. 3 data-collection grid (quick config × the paper suite at test
+/// scale) on the shared rayon pool — the campaign-layer cost future PRs
+/// track alongside the per-run simulator numbers.
+fn bench_campaign_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_grid");
+    let suite = paper_suite(Scale::Test);
+    group.bench_function("quick_collect_paper_suite", |b| {
+        b.iter(|| {
+            let campaign =
+                Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+            black_box(campaign.collect(&suite, 1))
+        })
+    });
+    // The same grid pinned to one worker, so the jsonl history records the
+    // scaling headroom, not just the wall time of whatever machine ran it.
+    let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    group.bench_function("quick_collect_paper_suite_1thread", |b| {
+        b.iter(|| {
+            single.install(|| {
+                let campaign =
+                    Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+                black_box(campaign.collect(&suite, 1))
+            })
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_characterization_run,
     bench_ablation_disturbance,
     bench_ablation_scale,
-    bench_workload_kernels
+    bench_workload_kernels,
+    bench_campaign_grid
 );
 criterion_main!(benches);

@@ -21,7 +21,7 @@ fn main() {
         print!("{:<8}", kind.label());
         for set in FeatureSet::ALL {
             let err = evaluate_pue_accuracy(&data, kind, set);
-            if err.is_finite() && best.map_or(true, |(_, _, b)| err < b) {
+            if err.is_finite() && best.is_none_or(|(_, _, b)| err < b) {
                 best = Some((kind, set, err));
             }
             if err.is_finite() {

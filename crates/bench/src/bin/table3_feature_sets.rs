@@ -4,7 +4,7 @@ use wade_features::{schema, FeatureSet};
 
 fn main() {
     println!("Table III: input feature sets used for training");
-    println!("{:<12} {}", "input set", "parameters");
+    println!("{:<12} parameters", "input set");
     println!("{}", "-".repeat(76));
     for set in FeatureSet::ALL {
         println!("{:<12} {}", set.to_string(), set.description());

@@ -1,6 +1,17 @@
 //! Characterization campaigns: the paper's data-collection loop (Fig. 3).
+//!
+//! The (workload × operating point) grid and the PUE repeats fan out on the
+//! shared rayon pool: every row's seed is *derived* from (campaign seed,
+//! workload name, refresh period) rather than drawn from a shared stream,
+//! so the grid can be evaluated in any order — and on any number of
+//! threads — while producing byte-identical rows in a stable order
+//! (`collect_is_identical_across_thread_counts` asserts this). Thermal
+//! settling stays grouped per temperature set-point, exactly like the
+//! physical campaign heats the DIMMs once per set-point and then sweeps
+//! refresh periods.
 
 use crate::server::{ProfiledWorkload, SimulatedServer};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wade_dram::{ErrorSim, OperatingPoint, RunResult, RANK_COUNT};
 use wade_features::FeatureVector;
@@ -167,9 +178,11 @@ impl Campaign {
 
     /// Characterizes one profiled workload at one op for `repeats` runs.
     ///
-    /// Repeats are independent (each has its own derived seed), so they run
-    /// on scoped worker threads — the simulated analogue of queueing the 10
-    /// repeat experiments of Fig. 9 back to back on the testbed.
+    /// Repeats are independent (each has its own derived seed), so they fan
+    /// out on the shared rayon pool — the simulated analogue of queueing
+    /// the 10 repeat experiments of Fig. 9 back to back on the testbed.
+    /// Results come back in repeat order and are identical for any pool
+    /// width.
     pub fn characterize(
         &self,
         profiled: &ProfiledWorkload,
@@ -190,19 +203,18 @@ impl Campaign {
         if repeats <= 1 {
             return (0..repeats).map(run_one).collect();
         }
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..repeats)
-                .map(|r| scope.spawn(move |_| run_one(r)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("repeat run panicked")).collect()
-        })
-        .expect("characterization scope panicked")
+        (0..repeats as usize).into_par_iter().map(|r| run_one(r as u32)).collect()
     }
 
     /// Runs the full data-collection process of Fig. 3 over a suite:
     /// thermal settling, profiling, WER grid, PUE grid.
+    ///
+    /// Within each temperature set-point the whole (op × workload) block —
+    /// including every PUE repeat — is one flat parallel workload on the
+    /// shared pool; rows are emitted in the same stable order as the
+    /// sequential loop (ops sorted by temperature, then suite order).
     pub fn collect(mut self, suite: &[Box<dyn Workload>], seed: u64) -> CampaignData {
-        let mut rows = Vec::new();
+        let mut rows: Vec<CampaignRow> = Vec::new();
         let mut simulated = 0.0;
         let profiled: Vec<ProfiledWorkload> =
             suite.iter().map(|w| self.profile(w.as_ref(), seed)).collect();
@@ -214,33 +226,53 @@ impl Campaign {
         all_ops.extend(self.config.pue_ops.iter().map(|&op| (op, true)));
         all_ops.sort_by(|a, b| a.0.temp_c.partial_cmp(&b.0.temp_c).unwrap());
 
-        for (op, is_pue) in all_ops {
-            self.server.thermal_mut().set_all_targets(op.temp_c);
+        let mut cursor = 0;
+        while cursor < all_ops.len() {
+            // One thermal settle per set-point, then the whole block in
+            // parallel.
+            let temp = all_ops[cursor].0.temp_c;
+            let block_end = all_ops[cursor..]
+                .iter()
+                .position(|(op, _)| op.temp_c != temp)
+                .map_or(all_ops.len(), |n| cursor + n);
+            self.server.thermal_mut().set_all_targets(temp);
             simulated += self.server.thermal_mut().settle(0.5, 3600.0);
-            for p in &profiled {
-                let row_seed = seed ^ hash_name(&p.name) ^ ((op.trefp_s * 1e4) as u64);
-                if is_pue {
-                    let runs = self.characterize(p, op, self.config.pue_repeats, row_seed);
-                    simulated += self.config.run_duration_s * runs.len() as f64;
-                    rows.push(CampaignRow {
+
+            let grid: Vec<(OperatingPoint, bool, usize)> = all_ops[cursor..block_end]
+                .iter()
+                .flat_map(|&(op, is_pue)| {
+                    (0..profiled.len()).map(move |w| (op, is_pue, w))
+                })
+                .collect();
+            let campaign = &self;
+            let profiled_ref = &profiled;
+            let block_rows: Vec<CampaignRow> = grid
+                .into_par_iter()
+                .map(|(op, is_pue, w)| {
+                    let p = &profiled_ref[w];
+                    let row_seed = seed ^ hash_name(&p.name) ^ ((op.trefp_s * 1e4) as u64);
+                    let repeats = if is_pue { campaign.config.pue_repeats } else { 1 };
+                    let mut runs = campaign.characterize(p, op, repeats, row_seed);
+                    let (wer_run, pue_runs) = if is_pue {
+                        (None, runs)
+                    } else {
+                        (Some(runs.remove(0)), Vec::new())
+                    };
+                    CampaignRow {
                         workload: p.name.clone(),
                         op,
                         features: p.features.clone(),
-                        wer_run: None,
-                        pue_runs: runs,
-                    });
-                } else {
-                    let run = self.characterize(p, op, 1, row_seed).remove(0);
-                    simulated += self.config.run_duration_s;
-                    rows.push(CampaignRow {
-                        workload: p.name.clone(),
-                        op,
-                        features: p.features.clone(),
-                        wer_run: Some(run),
-                        pue_runs: Vec::new(),
-                    });
-                }
+                        wer_run,
+                        pue_runs,
+                    }
+                })
+                .collect();
+            for row in &block_rows {
+                let runs = if row.wer_run.is_some() { 1 } else { row.pue_runs.len() };
+                simulated += self.config.run_duration_s * runs as f64;
             }
+            rows.extend(block_rows);
+            cursor = block_end;
         }
         CampaignData { rows, simulated_seconds: simulated }
     }
@@ -301,6 +333,23 @@ mod tests {
         let back = CampaignData::from_json(&json).unwrap();
         assert_eq!(back.rows.len(), data.rows.len());
         assert_eq!(back.rows[0].workload, data.rows[0].workload);
+    }
+
+    #[test]
+    fn collect_is_identical_across_thread_counts() {
+        // The rayon fan-out over the grid and the PUE repeats must be
+        // invisible: byte-identical campaign data on 1 and N threads.
+        let collect_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+                    .collect(&tiny_suite(), 3)
+            })
+        };
+        let serial = collect_with(1);
+        let parallel = collect_with(8);
+        assert_eq!(serial.simulated_seconds, parallel.simulated_seconds);
+        assert_eq!(serial.to_json().unwrap(), parallel.to_json().unwrap());
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod address;
 mod config;
 mod device;
 mod event;
+mod fx;
 mod geometry;
 mod op;
 mod profile;
@@ -51,6 +52,7 @@ pub use address::{AddressMap, AddressScrambler, DramCoord};
 pub use config::ErrorPhysics;
 pub use device::DramDevice;
 pub use event::{CeEvent, RunResult, UeEvent};
+pub use fx::{FxHashMap, FxHasher};
 pub use geometry::{RankId, ServerGeometry, RANK_COUNT};
 pub use op::OperatingPoint;
 pub use profile::{DramUsageProfile, ReuseQuantiles};

@@ -43,6 +43,14 @@ impl RetentionLaw {
             (self.alpha_per_s * (t - self.window_s)).exp()
         }
     }
+
+    /// Inverse of [`RetentionLaw::fraction_below`]: the retention time at
+    /// population quantile `q ∈ (0, 1]` — `t = W + ln(q)/alpha`. This is
+    /// what lets the simulator realize weak cells *ordered by retention*
+    /// and skip the `1 − fraction_below` tail of the population outright.
+    pub fn retention_at_fraction(&self, q: f64) -> f64 {
+        self.window_s + q.max(f64::MIN_POSITIVE).ln() / self.alpha_per_s
+    }
 }
 
 #[cfg(test)]

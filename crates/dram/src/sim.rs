@@ -19,21 +19,120 @@
 //!   colliding in one word — the uncorrectable errors of Fig. 9,
 //! * a cold *OS-resident* region whose pair collisions crash every
 //!   workload at the maximum refresh period at 70 °C.
+//!
+//! # Performance architecture
+//!
+//! The hot path is engineered around three ideas (this is the simulator's
+//! contract with the campaign layer, so the details are normative):
+//!
+//! **Quantile-space thinning.** Weak cells are *not* enumerated one by one
+//! with a full attribute tuple each (the naive Fig. 3 loop). Instead each
+//! rank's population is realized as a Poisson process over the retention
+//! *quantile* axis `[0, 1)`, split into [`SEGMENTS`] fixed segments. A cell
+//! at quantile `q` has retention `RetentionLaw::retention_at_fraction(q)`,
+//! so every cell that could ever fail at the current operating point lies
+//! below `q_cap = law.fraction_below(TREFP / coupling)` — segments beyond
+//! `q_cap` are skipped *without sampling anything*. Because the tail law is
+//! exponential, `q_cap` is tiny at all but the longest refresh periods
+//! (e.g. `≈ 5×10⁻⁴` at `TREFP = 0.618 s`), which removes essentially the
+//! whole population scan that used to dominate `bench_ablation_scale`.
+//! Cells inside the boundary segment are rejected with a single uniform
+//! draw before any attribute work happens.
+//!
+//! **Derived per-cell streams (the seeding contract).** Randomness is
+//! keyed, not streamed. With `mix_seed` as the domain separator:
+//! * the *population* of rank `r` derives from
+//!   `mix_seed(device_seed, r, env_bits(op), POP_DOMAIN)` — temperature
+//!   and voltage only, never `TREFP` or the run seed;
+//! * segment `s` of that rank seeds its own [`SimRng`] stream, which
+//!   yields the segment's Poisson count and each cell's quantile;
+//! * cell `(s, j)` derives its attribute stream from the rank population
+//!   seed and `cell_key = s·2²⁴ + j`, and its *run* stream (discovery
+//!   timing, VRT, companion draws) from
+//!   `mix_seed(device_seed, r, op_bits(op), run_seed)` and the same
+//!   `cell_key`.
+//!
+//! A cell's identity — its word, lane, data and retention — is therefore a
+//! pure function of `(device, rank, segment, j, temp, vdd)`: independent of
+//! the refresh period (populations persist across the `TREFP` sweep, a
+//! property the tests assert), independent of how many threads run, and
+//! independent of every other cell (which is what lets segments be skipped
+//! analytically without perturbing the rest of the population).
+//! [`SimRng`] is SplitMix64 — a 64-bit-state generator whose seeding is a
+//! single assignment, making "one fresh stream per cell" effectively free;
+//! the alias exists so the generator can be swapped in one place.
+//!
+//! **Order-stable parallelism.** The `(rank × segment-chunk)` grid plus one
+//! auxiliary unit per rank (disturbance, OS-resident and burst channels)
+//! fans out on rayon. Results are merged *serially in unit order*, so the
+//! pair-collision bookkeeping (two corrupted bits in one word → UE) sees
+//! events in a canonical order and a run is byte-identical on 1 thread and
+//! N threads (`run_is_identical_across_thread_counts` asserts this).
 
 use crate::device::DramDevice;
 use crate::event::{CeEvent, RunResult, UeEvent};
+use crate::fx::FxHashMap;
 use crate::geometry::RankId;
 use crate::op::OperatingPoint;
 use crate::profile::DramUsageProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 use rand_distr::{Distribution, Poisson};
-use std::collections::HashMap;
+use rayon::prelude::*;
+
+/// The simulator's pseudo-random generator: SplitMix64 behind an alias so
+/// the choice is recorded (and swappable) in exactly one place. See the
+/// module docs for why seeding cost is the selection criterion.
+pub(crate) type SimRng = SmallRng;
+
+/// Fixed number of retention-quantile segments per rank. Constant across
+/// operating points by construction — segment boundaries are part of a
+/// cell's identity, so changing this constant re-manufactures every
+/// device's weak-cell population (a re-baselining event, like changing the
+/// PRNG). Sized so the per-segment overhead (one seeding + one Poisson
+/// draw) stays negligible even for near-empty populations while still
+/// exposing `SEGMENTS × ranks` independent work units.
+const SEGMENTS: u64 = 32;
+
+/// Segments bundled into one parallel work unit.
+const SEGMENTS_PER_CHUNK: u64 = 4;
+
+const POP_DOMAIN: u64 = 0x505F_C311; // population domain (pre-existing)
+const CELL_ATTR_SALT: u64 = 0xCE11_A77B_0000_0001;
+const CELL_RUN_SALT: u64 = 0xCE11_4D15_0000_0001;
+const DISTURB_SALT: u64 = 0xD157_0000_0000_0001;
+const OS_POP_SALT: u64 = 0x05C0_1DDA_7A00_0001;
+const OS_RUN_SALT: u64 = 0x05C0_1DDA_7A00_0002;
+const BURST_SALT: u64 = 0xB025_7000_0000_0001;
 
 /// Simulator for characterization runs against one [`DramDevice`].
 #[derive(Debug, Clone)]
 pub struct ErrorSim<'d> {
     device: &'d DramDevice,
+}
+
+/// One candidate error event produced by a parallel unit, in canonical
+/// (segment, cell) order.
+struct Candidate {
+    t_s: f64,
+    word: u64,
+    lane: u8,
+    /// A spatially-correlated companion bit accompanied the flip: the word
+    /// is uncorrectable immediately.
+    companion: bool,
+}
+
+/// Output of one rank's auxiliary unit (disturbance + OS + burst channels).
+struct AuxOutcome {
+    disturb: Vec<Candidate>,
+    /// UE candidate times from OS pair collisions, OS companions and
+    /// disturbance bursts.
+    ue_times: Vec<f64>,
+}
+
+enum UnitOutcome {
+    Pop(Vec<Candidate>),
+    Aux(AuxOutcome),
 }
 
 impl<'d> ErrorSim<'d> {
@@ -46,7 +145,8 @@ impl<'d> ErrorSim<'d> {
     /// operating point `op` with the DRAM usage described by `profile`.
     ///
     /// `run_seed` captures run-to-run variation (VRT states, discovery
-    /// order); re-running with the same seed reproduces the result exactly.
+    /// order); re-running with the same seed reproduces the result exactly,
+    /// regardless of the rayon pool width (see the module docs).
     ///
     /// # Panics
     /// Panics if the profile or operating point fail validation.
@@ -59,201 +159,57 @@ impl<'d> ErrorSim<'d> {
     ) -> RunResult {
         profile.validate().expect("invalid DRAM usage profile");
         op.validate().expect("invalid operating point");
-        let physics = self.device.physics();
-        let law = self.device.retention_law();
-        let geometry = self.device.geometry();
-        let ranks = geometry.total_ranks();
+        let ranks = self.device.geometry().total_ranks();
+        let ctx = RunContext::new(self.device, profile, op, duration_s, run_seed);
 
+        // One work unit per (rank, segment chunk) plus one auxiliary unit
+        // per rank; merged strictly in this order below.
+        let chunks_per_rank = (SEGMENTS / SEGMENTS_PER_CHUNK) as usize;
+        let units: Vec<(usize, usize)> = (0..ranks)
+            .flat_map(|r| (0..=chunks_per_rank).map(move |c| (r, c)))
+            .collect();
+        let outcomes: Vec<UnitOutcome> = units
+            .into_par_iter()
+            .map(|(rank, chunk)| {
+                if chunk < chunks_per_rank {
+                    UnitOutcome::Pop(ctx.population_chunk(rank, chunk as u64))
+                } else {
+                    UnitOutcome::Aux(ctx.aux_channels(rank))
+                }
+            })
+            .collect();
+
+        // Serial, order-stable merge: per rank, population candidates in
+        // (segment, cell) order, then the disturbance channel, share one
+        // pair-collision map; a second corrupted bit in an already
+        // manifested word upgrades to a UE.
         let mut ce_events: Vec<CeEvent> = Vec::new();
         let mut earliest_ue: Option<UeEvent> = None;
-
-        let region_words = (profile.footprint_words / 64).max(1);
-        let coupling =
-            1.0 - physics.entropy_coupling * (profile.entropy_bits / 32.0).clamp(0.0, 1.0);
-        let temp_factor = (physics.beta_per_c * (op.temp_c - 50.0)).exp();
-        // Companion-bit probability per manifesting cell and per unit of
-        // (per-bit weak density × threshold fraction): 71 word-mates times
-        // the spatial-correlation boost.
-        let companion_scale = 71.0 * physics.multi_bit_correlation;
-
+        let mut cursor = 0usize;
         for rank_index in 0..ranks {
-            // Population randomness: fixed by (device, rank, temp, vdd).
-            let mut rng_pop = StdRng::seed_from_u64(mix_seed(
-                self.device.seed(),
-                rank_index as u64,
-                env_bits(op),
-                0x505F_C311, // population domain
-            ));
-            // Run randomness: discovery order, VRT states, burst arrivals.
-            let mut rng_run = StdRng::seed_from_u64(mix_seed(
-                self.device.seed(),
-                rank_index as u64,
-                op_bits(op),
-                run_seed,
-            ));
             let rank = RankId::from_index(rank_index);
-            let expected = self.device.expected_weak_cells(
-                rank_index,
-                profile.footprint_words,
-                op.temp_c,
-                op.vdd_v,
-            );
-            let population = sample_poisson(expected, &mut rng_pop);
-
-            // word → discovery time of already-manifested cells, for
-            // multi-bit (pair) UE detection.
-            let mut manifested: HashMap<u64, f64> = HashMap::new();
-
-            for _ in 0..population {
-                // All per-cell physical attributes come from the population
-                // stream so they persist across TREFP settings.
-                let retention = law.sample(&mut rng_pop);
-                let word =
-                    sample_word_on_rank(profile.footprint_words, rank_index, ranks, &mut rng_pop);
-                let lane = rng_pop.gen_range(0..72u8);
-                let u_never: f64 = rng_pop.gen();
-                let u_reuse: f64 = rng_pop.gen();
-                let is_true_cell = rng_pop.gen_bool(physics.true_cell_fraction);
-                let u_bit: f64 = rng_pop.gen();
-
-                // Implicit refresh: accesses recharge the cells they touch
-                // (§II-C). Following the paper, the refresh period incurred
-                // by the program is its word-level reuse time, inflated by
-                // the cache filter (only accesses that reach DRAM refresh
-                // the stored row copy).
-                let t_reuse = if u_never < profile.never_reused_fraction {
-                    f64::INFINITY
-                } else {
-                    profile.reuse.sample_at(u_reuse) / profile.dram_filter.max(0.05)
+            let mut manifested: FxHashMap<u64, f64> = FxHashMap::default();
+            for _ in 0..chunks_per_rank {
+                let UnitOutcome::Pop(candidates) = &outcomes[cursor] else {
+                    unreachable!("population unit expected");
                 };
-                let t_eff = op.trefp_s.min(t_reuse);
-
-                // Data-dependent vulnerability: a leak flips the bit only
-                // when the stored value holds the cell in its charged
-                // state; bit-line coupling shortens the effective retention
-                // with the written pattern's entropy.
-                let stored_one = u_bit < profile.one_density.clamp(0.0, 1.0);
-                let vulnerable = is_true_cell == stored_one;
-                let retention_eff = retention * coupling;
-
-                if !(vulnerable && retention_eff < t_eff) {
-                    continue;
-                }
-
-                let region = ((word as u128 * 64) / profile.footprint_words as u128) as usize;
-                let share = profile.region_shares.get(region).copied().unwrap_or(0.0);
-                let read_rate_word = profile.dram_read_rate_hz * share / region_words as f64
-                    + physics.scrub_rate_hz;
-                if let Some(t) = discovery_time(physics, read_rate_word, duration_s, &mut rng_run) {
-                    // Spatially-correlated companion bit: the same gating
-                    // (threshold, coupling) applied to a clustered
-                    // neighbour. Two bad bits in one word: instant UE.
-                    let p_companion = (physics.weak_density(op.temp_c, op.vdd_v)
-                        * self.device.variation().factor(rank_index)
-                        * law.fraction_below(t_eff / coupling.max(1e-9))
-                        * companion_scale)
-                        .clamp(0.0, 1.0);
-                    if rng_run.gen_bool(p_companion) {
-                        if earliest_ue.map_or(true, |ue| t < ue.t_s) {
-                            earliest_ue = Some(UeEvent { t_s: t, rank });
-                        }
-                        continue;
-                    }
-                    record_ce(
-                        &mut ce_events,
-                        &mut manifested,
-                        &mut earliest_ue,
-                        CeEvent { t_s: t, word, lane, rank },
-                    );
-                }
+                cursor += 1;
+                merge_candidates(
+                    candidates,
+                    rank,
+                    &mut ce_events,
+                    &mut manifested,
+                    &mut earliest_ue,
+                );
             }
-
-            // Disturbance channel: single-bit flips from cell-to-cell
-            // interference, proportional to the row-activation rate (the
-            // paper's dominant workload effect). Victims are spread over
-            // the rows the workload activates.
-            let act_per_rank = profile.row_activation_rate_hz / ranks as f64;
-            let disturb_mean = physics.disturb_flips_per_activation
-                * act_per_rank
-                * duration_s
-                * temp_factor
-                * (physics.disturb_alpha_per_s * (op.trefp_s - 2.283)).exp()
-                * self.device.variation().factor(rank_index);
-            let disturb_flips = sample_poisson(disturb_mean, &mut rng_run);
-            for _ in 0..disturb_flips {
-                let word =
-                    sample_word_on_rank(profile.footprint_words, rank_index, ranks, &mut rng_run);
-                let lane = rng_run.gen_range(0..72u8);
-                let region = ((word as u128 * 64) / profile.footprint_words as u128) as usize;
-                let share = profile.region_shares.get(region).copied().unwrap_or(0.0);
-                let read_rate_word = profile.dram_read_rate_hz * share / region_words as f64
-                    + physics.scrub_rate_hz;
-                if let Some(t) = discovery_time(physics, read_rate_word, duration_s, &mut rng_run) {
-                    record_ce(
-                        &mut ce_events,
-                        &mut manifested,
-                        &mut earliest_ue,
-                        CeEvent { t_s: t, word, lane, rank },
-                    );
-                }
-            }
-
-            // OS-resident cold pages: outside the benchmark's footprint and
-            // almost never re-read, so they rely purely on auto-refresh. A
-            // pair collision here is a kernel-memory UE — instant crash.
-            let os_words_rank = physics.os_resident_words / ranks as u64;
-            let os_expected = physics.weak_density(op.temp_c, op.vdd_v)
-                * self.device.variation().factor(rank_index)
-                * os_words_rank as f64
-                * 72.0;
-            let os_population = sample_poisson(os_expected, &mut rng_pop);
-            let mut os_manifested: HashMap<u64, f64> = HashMap::new();
-            let p_companion_os = (physics.weak_density(op.temp_c, op.vdd_v)
-                * self.device.variation().factor(rank_index)
-                * law.fraction_below(op.trefp_s)
-                * companion_scale)
-                .clamp(0.0, 1.0);
-            for _ in 0..os_population {
-                let retention = law.sample(&mut rng_pop);
-                let word = rng_pop.gen_range(0..os_words_rank.max(1));
-                let is_true_cell = rng_pop.gen_bool(physics.true_cell_fraction);
-                let stored_one = rng_pop.gen_bool(0.5); // kernel pages: mixed data
-                if !(is_true_cell == stored_one && retention < op.trefp_s) {
-                    continue;
-                }
-                if let Some(t) =
-                    discovery_time(physics, physics.scrub_rate_hz, duration_s, &mut rng_run)
-                {
-                    if rng_run.gen_bool(p_companion_os) {
-                        if earliest_ue.map_or(true, |ue| t < ue.t_s) {
-                            earliest_ue = Some(UeEvent { t_s: t, rank });
-                        }
-                        continue;
-                    }
-                    if let Some(first) = os_manifested.insert(word, t) {
-                        let t_ue = first.max(t);
-                        if earliest_ue.map_or(true, |ue| t_ue < ue.t_s) {
-                            earliest_ue = Some(UeEvent { t_s: t_ue, rank });
-                        }
-                    }
-                }
-            }
-
-            // Disturbance bursts: clustered multi-bit flips from sustained
-            // hammering; quadratic in the activation rate so that parallel
-            // memory-intensive workloads dominate at shorter TREFP
-            // (Fig. 9a).
-            let burst_rate = physics.ue_burst_coeff
-                * profile.row_activation_rate_hz.powi(2)
-                * duration_s
-                * (physics.ue_burst_beta_per_c * (op.temp_c - 70.0)).exp()
-                * (physics.ue_burst_alpha_per_s * (op.trefp_s - 1.45)).exp()
-                * ue_rank_share(self.device, rank_index);
-            let bursts = sample_poisson(burst_rate, &mut rng_run);
-            if bursts > 0 {
-                let t_burst = rng_run.gen_range(0.0..duration_s);
-                if earliest_ue.map_or(true, |ue| t_burst < ue.t_s) {
-                    earliest_ue = Some(UeEvent { t_s: t_burst, rank });
+            let UnitOutcome::Aux(aux) = &outcomes[cursor] else {
+                unreachable!("aux unit expected");
+            };
+            cursor += 1;
+            merge_candidates(&aux.disturb, rank, &mut ce_events, &mut manifested, &mut earliest_ue);
+            for &t in &aux.ue_times {
+                if earliest_ue.is_none_or(|ue| t < ue.t_s) {
+                    earliest_ue = Some(UeEvent { t_s: t, rank });
                 }
             }
         }
@@ -263,7 +219,11 @@ impl<'d> ErrorSim<'d> {
         if let Some(ue) = earliest_ue {
             ce_events.retain(|e| e.t_s <= ue.t_s);
         }
-        ce_events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+        // Discovery times are continuous, so ties are measure-zero; the
+        // unstable sort is deterministic regardless (same input order in,
+        // same output order out). Times are non-negative, so the IEEE bit
+        // pattern is an order-preserving integer key.
+        ce_events.sort_unstable_by_key(|e| e.t_s.to_bits());
 
         RunResult {
             ce_events,
@@ -274,18 +234,391 @@ impl<'d> ErrorSim<'d> {
     }
 }
 
+/// Applies a unit's candidates to the rank's merge state in order.
+fn merge_candidates(
+    candidates: &[Candidate],
+    rank: RankId,
+    ce_events: &mut Vec<CeEvent>,
+    manifested: &mut FxHashMap<u64, f64>,
+    earliest_ue: &mut Option<UeEvent>,
+) {
+    for cand in candidates {
+        if cand.companion {
+            if earliest_ue.is_none_or(|ue| cand.t_s < ue.t_s) {
+                *earliest_ue = Some(UeEvent { t_s: cand.t_s, rank });
+            }
+            continue;
+        }
+        record_ce(
+            ce_events,
+            manifested,
+            earliest_ue,
+            CeEvent { t_s: cand.t_s, word: cand.word, lane: cand.lane, rank },
+        );
+    }
+}
+
+/// Immutable per-run context shared by all parallel units.
+struct RunContext<'a> {
+    device: &'a DramDevice,
+    profile: &'a DramUsageProfile,
+    op: OperatingPoint,
+    duration_s: f64,
+    run_seed: u64,
+    ranks: usize,
+    region_words: u64,
+    coupling: f64,
+    temp_factor: f64,
+    companion_scale: f64,
+    /// Thinning cap for the benchmark-footprint population.
+    q_cap: f64,
+    /// Per reuse-quantile effective refresh period `min(TREFP, t_reuse_i)`,
+    /// with index [`REUSE_BUCKETS`] for never-reused cells. The reuse
+    /// distribution is a 16-point quantile table, so these — and the
+    /// companion-probability weights below — have at most 17 distinct
+    /// values, precomputed here instead of per cell.
+    t_eff_by_bucket: [f64; REUSE_BUCKETS + 1],
+    /// `fraction_below(t_eff / coupling)` per reuse bucket (the companion
+    /// weight that used to cost one `exp()` per manifesting cell).
+    companion_fraction_by_bucket: [f64; REUSE_BUCKETS + 1],
+    /// Word-level read rate (reads + patrol scrub) per spatial region,
+    /// precomputed so the per-cell lookup is one index instead of a 128-bit
+    /// division and two floating-point divisions.
+    read_rate_by_region: Vec<f64>,
+}
+
+/// Number of quantile points in `ReuseQuantiles`.
+const REUSE_BUCKETS: usize = 16;
+
+impl<'a> RunContext<'a> {
+    fn new(
+        device: &'a DramDevice,
+        profile: &'a DramUsageProfile,
+        op: OperatingPoint,
+        duration_s: f64,
+        run_seed: u64,
+    ) -> Self {
+        let physics = device.physics();
+        let law = device.retention_law();
+        let coupling =
+            1.0 - physics.entropy_coupling * (profile.entropy_bits / 32.0).clamp(0.0, 1.0);
+        let mut t_eff_by_bucket = [op.trefp_s; REUSE_BUCKETS + 1];
+        let mut companion_fraction_by_bucket = [0.0; REUSE_BUCKETS + 1];
+        for bucket in 0..=REUSE_BUCKETS {
+            // Bucket REUSE_BUCKETS is the never-reused case (auto-refresh
+            // only): t_eff stays at TREFP.
+            if bucket < REUSE_BUCKETS {
+                let t_reuse = profile.reuse.sample_at((bucket as f64 + 0.5) / REUSE_BUCKETS as f64)
+                    / profile.dram_filter.max(0.05);
+                t_eff_by_bucket[bucket] = op.trefp_s.min(t_reuse);
+            }
+            companion_fraction_by_bucket[bucket] =
+                law.fraction_below(t_eff_by_bucket[bucket] / coupling.max(1e-9));
+        }
+        let region_words = (profile.footprint_words / 64).max(1);
+        let read_rate_by_region: Vec<f64> = (0..64)
+            .map(|region| {
+                let share = profile.region_shares.get(region).copied().unwrap_or(0.0);
+                profile.dram_read_rate_hz * share / region_words as f64 + physics.scrub_rate_hz
+            })
+            .collect();
+        Self {
+            device,
+            profile,
+            op,
+            duration_s,
+            run_seed,
+            ranks: device.geometry().total_ranks(),
+            region_words,
+            coupling,
+            temp_factor: (physics.beta_per_c * (op.temp_c - 50.0)).exp(),
+            // Companion-bit probability per manifesting cell and per unit of
+            // (per-bit weak density × threshold fraction): 71 word-mates
+            // times the spatial-correlation boost.
+            companion_scale: 71.0 * physics.multi_bit_correlation,
+            q_cap: law.fraction_below(op.trefp_s / coupling.max(1e-9)),
+            t_eff_by_bucket,
+            companion_fraction_by_bucket,
+            read_rate_by_region,
+        }
+    }
+
+    /// Population seed of a rank: temperature/voltage only, so the same
+    /// physical cells exist at every refresh period (see module docs).
+    fn pop_seed(&self, rank_index: usize) -> u64 {
+        mix_seed(self.device.seed(), rank_index as u64, env_bits(self.op), POP_DOMAIN)
+    }
+
+    /// Run seed of a rank: full operating point + run seed.
+    fn rank_run_seed(&self, rank_index: usize) -> u64 {
+        mix_seed(self.device.seed(), rank_index as u64, op_bits(self.op), self.run_seed)
+    }
+
+    /// The word-level read rate seen by a word's region (reads plus patrol
+    /// scrub). `word / region_words` stays within the 0..64 table because
+    /// `region_words = max(footprint/64, 1)`.
+    #[inline]
+    fn word_read_rate(&self, word: u64) -> f64 {
+        let region = (word / self.region_words) as usize;
+        self.read_rate_by_region[region.min(63)]
+    }
+
+    /// Realizes one chunk of a rank's weak-cell population: all cells whose
+    /// retention quantile falls inside the chunk's segments and below the
+    /// thinning cap.
+    fn population_chunk(&self, rank_index: usize, chunk: u64) -> Vec<Candidate> {
+        let physics = self.device.physics();
+        let law = self.device.retention_law();
+        let expected = self.device.expected_weak_cells(
+            rank_index,
+            self.profile.footprint_words,
+            self.op.temp_c,
+            self.op.vdd_v,
+        );
+        if expected <= 0.0 || self.q_cap <= 0.0 {
+            return Vec::new();
+        }
+        let pop_seed = self.pop_seed(rank_index);
+        let run_seed = self.rank_run_seed(rank_index);
+        let mean_per_segment = expected.min(5.0e7) / SEGMENTS as f64;
+        let p_companion_unit = physics.weak_density(self.op.temp_c, self.op.vdd_v)
+            * self.device.variation().factor(rank_index)
+            * self.companion_scale;
+
+        // Roughly half the realized cells survive the data-dependence gate;
+        // pre-size for the common case to avoid growth reallocations.
+        let mut out =
+            Vec::with_capacity((mean_per_segment * SEGMENTS_PER_CHUNK as f64 * 0.6) as usize + 4);
+        let seg_lo = chunk * SEGMENTS_PER_CHUNK;
+        for seg in seg_lo..seg_lo + SEGMENTS_PER_CHUNK {
+            // Analytic thinning: the whole segment lies beyond the cap —
+            // none of its cells can fail at this operating point, and
+            // skipping it cannot perturb any other cell (independent
+            // streams).
+            if seg as f64 / SEGMENTS as f64 >= self.q_cap {
+                break;
+            }
+            let mut seg_rng = SimRng::seed_from_u64(mix_seed(pop_seed, seg, 0, 0));
+            let count = sample_poisson(mean_per_segment, &mut seg_rng);
+            for j in 0..count {
+                // One uniform rejects above-cap cells before any attribute
+                // work. The quantile draw is cap-independent, so the
+                // candidate set only ever *grows* with TREFP.
+                let q = (seg as f64 + seg_rng.gen::<f64>()) / SEGMENTS as f64;
+                if q >= self.q_cap {
+                    continue;
+                }
+                let cell_key = (seg << 24) | j.min((1 << 24) - 1);
+                let retention = law.retention_at_fraction(q);
+                if let Some(cand) = self.try_manifest_cell(
+                    rank_index,
+                    retention,
+                    &mut SimRng::seed_from_u64(mix_seed(pop_seed, cell_key, CELL_ATTR_SALT, 1)),
+                    run_seed,
+                    cell_key,
+                    p_companion_unit,
+                ) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
+
+    /// Plays out one candidate weak cell: attribute draws, the implicit
+    /// refresh / data-dependence gates, then discovery and the companion
+    /// check. Returns an event if the cell manifests within the run.
+    ///
+    /// Gates are ordered cheapest-rejection-first: the data-dependence coin
+    /// flips and the reuse bucket come before the word/lane draws and the
+    /// run-stream seeding, so the ~half of cells held safe by their stored
+    /// data pay for two attribute draws and nothing else.
+    fn try_manifest_cell(
+        &self,
+        rank_index: usize,
+        retention: f64,
+        attr_rng: &mut SimRng,
+        run_seed: u64,
+        cell_key: u64,
+        p_companion_unit: f64,
+    ) -> Option<Candidate> {
+        let physics = self.device.physics();
+        let profile = self.profile;
+
+        // All per-cell physical attributes come from the cell's population
+        // stream so they persist across TREFP settings.
+        //
+        // Data-dependent vulnerability: a leak flips the bit only when the
+        // stored value holds the cell in its charged state; bit-line
+        // coupling shortens the effective retention with the written
+        // pattern's entropy.
+        let is_true_cell = attr_rng.gen_bool(physics.true_cell_fraction);
+        let u_bit: f64 = attr_rng.gen();
+        let stored_one = u_bit < profile.one_density.clamp(0.0, 1.0);
+        if is_true_cell != stored_one {
+            return None;
+        }
+
+        // Implicit refresh: accesses recharge the cells they touch (§II-C).
+        // Following the paper, the refresh period incurred by the program is
+        // its word-level reuse time, inflated by the cache filter (only
+        // accesses that reach DRAM refresh the stored row copy). Both the
+        // resulting `t_eff` and the companion weight below are bucket
+        // lookups (17 distinct values per run).
+        let u_never: f64 = attr_rng.gen();
+        let u_reuse: f64 = attr_rng.gen();
+        // Same floor mapping as `ReuseQuantiles::sample_at`, which is
+        // itself a 16-point lookup — the bucket tables are an exact
+        // refactoring of the old per-cell computation, not a coarsening.
+        let bucket = if u_never < profile.never_reused_fraction {
+            REUSE_BUCKETS
+        } else {
+            ((u_reuse.clamp(0.0, 0.999_999) * REUSE_BUCKETS as f64) as usize)
+                .min(REUSE_BUCKETS - 1)
+        };
+        if retention * self.coupling >= self.t_eff_by_bucket[bucket] {
+            return None;
+        }
+
+        let word =
+            sample_word_on_rank(profile.footprint_words, rank_index, self.ranks, attr_rng);
+        let lane = attr_rng.gen_range(0..72u8);
+        let read_rate_word = self.word_read_rate(word);
+        let mut run_rng = SimRng::seed_from_u64(mix_seed(run_seed, cell_key, CELL_RUN_SALT, 2));
+        let t = discovery_time(physics, read_rate_word, self.duration_s, &mut run_rng)?;
+        // Spatially-correlated companion bit: the same gating (threshold,
+        // coupling) applied to a clustered neighbour. Two bad bits in one
+        // word: instant UE.
+        let p_companion =
+            (p_companion_unit * self.companion_fraction_by_bucket[bucket]).clamp(0.0, 1.0);
+        let companion = run_rng.gen_bool(p_companion);
+        Some(Candidate { t_s: t, word, lane, companion })
+    }
+
+    /// The three rank-level channels that are cheap after thinning:
+    /// disturbance flips, the OS-resident region and disturbance bursts.
+    fn aux_channels(&self, rank_index: usize) -> AuxOutcome {
+        let physics = self.device.physics();
+        let law = self.device.retention_law();
+        let profile = self.profile;
+        let op = self.op;
+        let factor = self.device.variation().factor(rank_index);
+        let run_seed = self.rank_run_seed(rank_index);
+        let pop_seed = self.pop_seed(rank_index);
+        let mut disturb = Vec::new();
+        let mut ue_times = Vec::new();
+
+        // Disturbance channel: single-bit flips from cell-to-cell
+        // interference, proportional to the row-activation rate (the
+        // paper's dominant workload effect). Victims are spread over the
+        // rows the workload activates.
+        let mut rng_disturb = SimRng::seed_from_u64(mix_seed(run_seed, DISTURB_SALT, 0, 3));
+        let act_per_rank = profile.row_activation_rate_hz / self.ranks as f64;
+        let disturb_mean = physics.disturb_flips_per_activation
+            * act_per_rank
+            * self.duration_s
+            * self.temp_factor
+            * (physics.disturb_alpha_per_s * (op.trefp_s - 2.283)).exp()
+            * factor;
+        let disturb_flips = sample_poisson(disturb_mean, &mut rng_disturb);
+        for _ in 0..disturb_flips {
+            let word = sample_word_on_rank(
+                profile.footprint_words,
+                rank_index,
+                self.ranks,
+                &mut rng_disturb,
+            );
+            let lane = rng_disturb.gen_range(0..72u8);
+            let read_rate_word = self.word_read_rate(word);
+            if let Some(t) =
+                discovery_time(physics, read_rate_word, self.duration_s, &mut rng_disturb)
+            {
+                disturb.push(Candidate { t_s: t, word, lane, companion: false });
+            }
+        }
+
+        // OS-resident cold pages: outside the benchmark's footprint and
+        // almost never re-read, so they rely purely on auto-refresh. A pair
+        // collision here is a kernel-memory UE — instant crash. The same
+        // quantile-thinning applies: only cells with retention below TREFP
+        // (fraction `q_cap_os`) are realized, as a gap-walked Poisson
+        // process over quantile space.
+        let os_words_rank = physics.os_resident_words / self.ranks as u64;
+        let os_expected =
+            physics.weak_density(op.temp_c, op.vdd_v) * factor * os_words_rank as f64 * 72.0;
+        let q_cap_os = law.fraction_below(op.trefp_s);
+        if os_expected > 0.0 && q_cap_os > 0.0 {
+            let mut rng_os_pop = SimRng::seed_from_u64(mix_seed(pop_seed, OS_POP_SALT, 0, 4));
+            let mut rng_os_run = SimRng::seed_from_u64(mix_seed(run_seed, OS_RUN_SALT, 0, 5));
+            let mut os_manifested: FxHashMap<u64, f64> = FxHashMap::default();
+            let p_companion_os = (physics.weak_density(op.temp_c, op.vdd_v)
+                * factor
+                * q_cap_os
+                * self.companion_scale)
+                .clamp(0.0, 1.0);
+            let rate = os_expected.min(5.0e7);
+            let mut q = 0.0f64;
+            loop {
+                q += sample_exp(rate, &mut rng_os_pop);
+                if q >= q_cap_os {
+                    break;
+                }
+                // Candidate cell: retention < TREFP by construction; it
+                // leaks iff the stored bit holds it charged.
+                let word = rng_os_pop.gen_range(0..os_words_rank.max(1));
+                let is_true_cell = rng_os_pop.gen_bool(physics.true_cell_fraction);
+                let stored_one = rng_os_pop.gen_bool(0.5); // kernel pages: mixed data
+                if is_true_cell != stored_one {
+                    continue;
+                }
+                if let Some(t) = discovery_time(
+                    physics,
+                    physics.scrub_rate_hz,
+                    self.duration_s,
+                    &mut rng_os_run,
+                ) {
+                    if rng_os_run.gen_bool(p_companion_os) {
+                        ue_times.push(t);
+                        continue;
+                    }
+                    if let Some(first) = os_manifested.insert(word, t) {
+                        ue_times.push(first.max(t));
+                    }
+                }
+            }
+        }
+
+        // Disturbance bursts: clustered multi-bit flips from sustained
+        // hammering; quadratic in the activation rate so that parallel
+        // memory-intensive workloads dominate at shorter TREFP (Fig. 9a).
+        let mut rng_burst = SimRng::seed_from_u64(mix_seed(run_seed, BURST_SALT, 0, 6));
+        let burst_rate = physics.ue_burst_coeff
+            * profile.row_activation_rate_hz.powi(2)
+            * self.duration_s
+            * (physics.ue_burst_beta_per_c * (op.temp_c - 70.0)).exp()
+            * (physics.ue_burst_alpha_per_s * (op.trefp_s - 1.45)).exp()
+            * ue_rank_share(self.device, rank_index);
+        let bursts = sample_poisson(burst_rate, &mut rng_burst);
+        if bursts > 0 {
+            ue_times.push(rng_burst.gen_range(0.0..self.duration_s));
+        }
+
+        AuxOutcome { disturb, ue_times }
+    }
+}
+
 /// Adds a CE, upgrading to a UE when a second corrupted bit lands in an
 /// already-manifested word.
 fn record_ce(
     ce_events: &mut Vec<CeEvent>,
-    manifested: &mut HashMap<u64, f64>,
+    manifested: &mut FxHashMap<u64, f64>,
     earliest_ue: &mut Option<UeEvent>,
     event: CeEvent,
 ) {
     match manifested.insert(event.word, event.t_s) {
         Some(first_time) => {
             let t_ue = first_time.max(event.t_s);
-            if earliest_ue.map_or(true, |ue| t_ue < ue.t_s) {
+            if earliest_ue.is_none_or(|ue| t_ue < ue.t_s) {
                 *earliest_ue = Some(UeEvent { t_s: t_ue, rank: event.rank });
             }
         }
@@ -295,11 +628,11 @@ fn record_ce(
 
 /// Discovery delay: stochastic failure onset plus the next read/scrub.
 /// Cells starting in the benign VRT state wait for a toggle first.
-fn discovery_time(
+fn discovery_time<R: RngCore>(
     physics: &crate::config::ErrorPhysics,
     read_rate_hz: f64,
     duration_s: f64,
-    rng: &mut StdRng,
+    rng: &mut R,
 ) -> Option<f64> {
     let mut t = sample_exp(physics.onset_rate_hz, rng) + sample_exp(read_rate_hz, rng);
     if !rng.gen_bool(physics.vrt_active_fraction) {
@@ -319,25 +652,48 @@ fn ue_rank_share(device: &DramDevice, rank_index: usize) -> f64 {
 
 /// Samples a uniformly-random 64-bit word index that interleaves onto the
 /// given rank (words interleave by 64-byte line round-robin).
-fn sample_word_on_rank(footprint_words: u64, rank_index: usize, ranks: usize, rng: &mut StdRng) -> u64 {
-    let lines = (footprint_words / 8).max(1);
-    let lines_per_rank = (lines / ranks as u64).max(1);
-    let line_on_rank = rng.gen_range(0..lines_per_rank);
-    let line = line_on_rank * ranks as u64 + rank_index as u64;
-    (line * 8 + rng.gen_range(0..8)).min(footprint_words - 1)
+///
+/// Lines (8 words) rotate across ranks; line `l` lives on rank
+/// `l mod ranks`. When the footprint is too small to place any line on the
+/// requested rank (fewer than `8 × ranks` words), the word is drawn
+/// uniformly from the footprint instead — a documented small-footprint
+/// approximation that keeps the sampler total. A zero-word footprint is
+/// rejected by `DramUsageProfile::validate`, but the sampler still guards
+/// it rather than underflowing.
+fn sample_word_on_rank<R: RngCore>(
+    footprint_words: u64,
+    rank_index: usize,
+    ranks: usize,
+    rng: &mut R,
+) -> u64 {
+    if footprint_words == 0 {
+        return 0;
+    }
+    let lines = footprint_words.div_ceil(8);
+    let rank = rank_index as u64;
+    let stride = ranks as u64;
+    // Number of lines landing on this rank: l = i·stride + rank < lines.
+    let lines_on_rank = if lines > rank { (lines - rank).div_ceil(stride) } else { 0 };
+    if lines_on_rank == 0 {
+        return rng.gen_range(0..footprint_words);
+    }
+    let line = rng.gen_range(0..lines_on_rank) * stride + rank;
+    let base = line * 8;
+    // The footprint's final line may be partial.
+    let width = 8u64.min(footprint_words - base);
+    base + rng.gen_range(0..width)
 }
 
-fn sample_poisson(mean: f64, rng: &mut StdRng) -> u64 {
+fn sample_poisson<R: RngCore>(mean: f64, rng: &mut R) -> u64 {
     if mean <= 0.0 {
         return 0;
     }
-    // rand_distr's Poisson panics for enormous means; those are far beyond
-    // the modelled regime but guard anyway.
+    // Guard enormous means (far beyond the modelled regime).
     let mean = mean.min(5.0e7);
     Poisson::new(mean).map(|d| d.sample(rng) as u64).unwrap_or(0)
 }
 
-fn sample_exp(rate_hz: f64, rng: &mut StdRng) -> f64 {
+fn sample_exp<R: RngCore>(rate_hz: f64, rng: &mut R) -> f64 {
     if rate_hz <= 0.0 {
         return f64::INFINITY;
     }
@@ -396,6 +752,21 @@ mod tests {
         assert_eq!(a, b);
         let c = sim.run(&profile(), op, 7200.0, 6);
         assert_ne!(a, c, "different run seeds should differ (VRT/discovery)");
+    }
+
+    #[test]
+    fn run_is_identical_across_thread_counts() {
+        // The parallel fan-out must be invisible: byte-identical results on
+        // a 1-thread and an N-thread rayon pool.
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let op = OperatingPoint::relaxed(2.283, 70.0);
+        let p = profile();
+        let one = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let many = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let serial = one.install(|| sim.run(&p, op, 7200.0, 11));
+        let parallel = many.install(|| sim.run(&p, op, 7200.0, 11));
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -570,5 +941,58 @@ mod tests {
         let w_plain = sim.run(&plain, op, 7200.0, 9).wer();
         let w_random = sim.run(&random, op, 7200.0, 9).wer();
         assert!(w_random > w_plain, "coupling: random {w_random} vs plain {w_plain}");
+    }
+
+    // ---- sample_word_on_rank ------------------------------------------------
+
+    fn rank_of(word: u64, ranks: u64) -> u64 {
+        (word / 8) % ranks
+    }
+
+    #[test]
+    fn sampled_words_land_on_the_requested_rank() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for &footprint in &[1u64 << 27, 1 << 20, 4096, 512, 64] {
+            for rank in 0..8usize {
+                for _ in 0..200 {
+                    let w = sample_word_on_rank(footprint, rank, 8, &mut rng);
+                    assert!(w < footprint, "word {w} outside footprint {footprint}");
+                    assert_eq!(
+                        rank_of(w, 8),
+                        rank as u64,
+                        "word {w} of footprint {footprint} not on rank {rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_footprints_stay_in_bounds_without_panicking() {
+        // Footprints smaller than 8 × ranks cannot place a line on every
+        // rank; the sampler must fall back to in-footprint words (the old
+        // clamp placed them on the wrong rank *and* underflowed at zero).
+        let mut rng = SimRng::seed_from_u64(2);
+        for &footprint in &[1u64, 3, 7, 8, 9, 15] {
+            for rank in 0..8usize {
+                for _ in 0..50 {
+                    let w = sample_word_on_rank(footprint, rank, 8, &mut rng);
+                    assert!(w < footprint, "word {w} outside footprint {footprint}");
+                }
+            }
+        }
+        assert_eq!(sample_word_on_rank(0, 3, 8, &mut rng), 0, "zero footprint guard");
+    }
+
+    #[test]
+    fn partial_final_line_is_respected() {
+        // 1000 words = 125 lines exactly; 1001 words adds a 1-word line on
+        // rank 125 % 8 == 5. Words of that line must stay below 1001.
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let w = sample_word_on_rank(1001, 5, 8, &mut rng);
+            assert!(w < 1001);
+            assert_eq!(rank_of(w, 8), 5);
+        }
     }
 }

@@ -40,6 +40,9 @@ impl HammingLayout {
             pos_to_lane[1 << k] = lane;
         }
         let mut lane = 0usize;
+        // `pos` is a Hamming code position, not a plain index: it drives
+        // the power-of-two test and two tables at once.
+        #[allow(clippy::needless_range_loop)]
         for pos in 1..CODE_BITS {
             if (pos & (pos - 1)) != 0 {
                 // Non-power-of-two: data position.
@@ -103,7 +106,7 @@ mod tests {
         let layout = HammingLayout::new();
         for lane in 0..DATA_BITS {
             let p = layout.data_position(lane) as usize;
-            assert!(p >= 3 && p < CODE_BITS);
+            assert!((3..CODE_BITS).contains(&p));
             assert!(!HammingLayout::is_check_position(p), "lane {lane} at check pos {p}");
         }
     }

@@ -79,7 +79,7 @@ impl HsiaoSecded {
         if syn == 0 {
             return DecodeOutcome::Clean { data: stored.data() };
         }
-        if syn.count_ones() % 2 == 0 {
+        if syn.count_ones().is_multiple_of(2) {
             return DecodeOutcome::DetectedUncorrectable;
         }
         // Odd syndrome: single-bit error in the matching column…

@@ -1,72 +1,118 @@
 //! Property-based tests for the SECDED codec invariants.
+//!
+//! Originally written against `proptest`; the offline build environment
+//! cannot provide it, so the same five properties are exercised as seeded
+//! randomized checks (a fixed-seed generator, several hundred cases each —
+//! deterministic, so failures reproduce exactly).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wade_ecc::{DecodeOutcome, Secded};
 
-proptest! {
-    /// Encoding then decoding any word is lossless.
-    #[test]
-    fn roundtrip_is_lossless(data: u64) {
-        let codec = Secded::new();
-        prop_assert_eq!(codec.decode(codec.encode(data)), DecodeOutcome::Clean { data });
-    }
+const CASES: usize = 512;
 
-    /// Any single flipped lane is corrected back to the original data.
-    #[test]
-    fn single_flip_corrected(data: u64, lane in 0u8..72) {
-        let codec = Secded::new();
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x5EC_DED)
+}
+
+/// Encoding then decoding any word is lossless.
+#[test]
+fn roundtrip_is_lossless() {
+    let codec = Secded::new();
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let data: u64 = rng.gen();
+        assert_eq!(codec.decode(codec.encode(data)), DecodeOutcome::Clean { data });
+    }
+    // Edge patterns the uniform sampler is unlikely to hit.
+    for data in [0u64, u64::MAX, 1, 1 << 63, 0xAAAA_AAAA_AAAA_AAAA] {
+        assert_eq!(codec.decode(codec.encode(data)), DecodeOutcome::Clean { data });
+    }
+}
+
+/// Any single flipped lane is corrected back to the original data.
+#[test]
+fn single_flip_corrected() {
+    let codec = Secded::new();
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let data: u64 = rng.gen();
+        let lane = rng.gen_range(0..72u8);
         let stored = codec.encode(data).with_flipped(lane);
         match codec.decode(stored) {
             DecodeOutcome::Corrected { data: d, lane: l } => {
-                prop_assert_eq!(d, data);
-                prop_assert_eq!(l, lane);
+                assert_eq!(d, data);
+                assert_eq!(l, lane);
             }
-            other => prop_assert!(false, "expected correction, got {:?}", other),
+            other => panic!("expected correction of lane {lane}, got {other:?}"),
         }
     }
+}
 
-    /// Any two distinct flipped lanes are detected, never miscorrected.
-    #[test]
-    fn double_flip_detected(data: u64, a in 0u8..72, b in 0u8..72) {
-        prop_assume!(a != b);
-        let codec = Secded::new();
+/// Any two distinct flipped lanes are detected, never miscorrected.
+#[test]
+fn double_flip_detected() {
+    let codec = Secded::new();
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let data: u64 = rng.gen();
+        let a = rng.gen_range(0..72u8);
+        let b = rng.gen_range(0..72u8);
+        if a == b {
+            continue;
+        }
         let stored = codec.encode(data).with_flipped(a).with_flipped(b);
-        prop_assert_eq!(codec.decode(stored), DecodeOutcome::DetectedUncorrectable);
+        assert_eq!(
+            codec.decode(stored),
+            DecodeOutcome::DetectedUncorrectable,
+            "lanes {a} and {b}"
+        );
     }
+}
 
-    /// With oracle decoding, a ≥3-bit corruption never silently passes as the
-    /// original data: it is either flagged (UE) or reported as SDC.
-    #[test]
-    fn triple_flip_never_passes_silently(
-        data: u64,
-        lanes in proptest::collection::btree_set(0u8..72, 3..=5),
-    ) {
-        let codec = Secded::new();
+/// With oracle decoding, a ≥3-bit corruption never silently passes as the
+/// original data: it is either flagged (UE) or reported as SDC.
+#[test]
+fn triple_flip_never_passes_silently() {
+    let codec = Secded::new();
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let data: u64 = rng.gen();
+        // 3..=5 distinct lanes.
+        let mut lanes = std::collections::BTreeSet::new();
+        let target = rng.gen_range(3..=5usize);
+        while lanes.len() < target {
+            lanes.insert(rng.gen_range(0..72u8));
+        }
         let mut stored = codec.encode(data);
         for &lane in &lanes {
             stored.flip_bit(lane);
         }
         match codec.decode_with_oracle(stored, data) {
-            DecodeOutcome::DetectedUncorrectable
-            | DecodeOutcome::SilentCorruption { .. } => {}
-            // Even-weight corruptions of ≥4 lanes can cancel in the parity but
-            // still show a non-zero syndrome; a clean decode to the *original*
-            // data would require the flips to form a codeword, which has
-            // minimum distance 4 — possible for exactly-4 flips matching a
-            // codeword, so tolerate Clean only if data survived.
-            DecodeOutcome::Clean { data: d } => prop_assert_eq!(d, data),
-            DecodeOutcome::Corrected { data: d, .. } => prop_assert_eq!(d, data),
+            DecodeOutcome::DetectedUncorrectable | DecodeOutcome::SilentCorruption { .. } => {}
+            // Even-weight corruptions of ≥4 lanes can cancel in the parity
+            // but still show a non-zero syndrome; a clean decode to the
+            // *original* data would require the flips to form a codeword,
+            // which has minimum distance 4 — possible for exactly-4 flips
+            // matching a codeword, so tolerate Clean only if data survived.
+            DecodeOutcome::Clean { data: d } => assert_eq!(d, data, "lanes {lanes:?}"),
+            DecodeOutcome::Corrected { data: d, .. } => assert_eq!(d, data, "lanes {lanes:?}"),
         }
     }
+}
 
-    /// Check-bit syndromes are linear: encode(a) xor encode(b) has the check
-    /// bits of encode(a xor b).
-    #[test]
-    fn encoding_is_linear(a: u64, b: u64) {
-        let codec = Secded::new();
+/// Check-bit syndromes are linear: encode(a) xor encode(b) has the check
+/// bits of encode(a xor b).
+#[test]
+fn encoding_is_linear() {
+    let codec = Secded::new();
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let a: u64 = rng.gen();
+        let b: u64 = rng.gen();
         let ca = codec.encode(a);
         let cb = codec.encode(b);
         let cx = codec.encode(a ^ b);
-        prop_assert_eq!(ca.check() ^ cb.check(), cx.check());
+        assert_eq!(ca.check() ^ cb.check(), cx.check());
     }
 }

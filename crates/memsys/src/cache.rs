@@ -23,7 +23,7 @@ impl CacheConfig {
         assert!(self.ways > 0 && self.line_bytes > 0, "degenerate cache geometry");
         let way_bytes = self.ways as u64 * self.line_bytes as u64;
         assert!(
-            self.capacity_bytes % way_bytes == 0,
+            self.capacity_bytes.is_multiple_of(way_bytes),
             "capacity {} not a multiple of ways×line {}",
             self.capacity_bytes,
             way_bytes

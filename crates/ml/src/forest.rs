@@ -22,7 +22,7 @@ impl ForestTrainer {
     /// Creates a trainer with `trees` trees and default growth parameters.
     pub fn new(trees: usize) -> Self {
         assert!(trees > 0, "at least one tree required");
-        Self { trees, params: TreeParams::default(), seed: 0xF0FE_57 }
+        Self { trees, params: TreeParams::default(), seed: 0x00F0_FE57 }
     }
 
     /// The paper-scale configuration (100 trees).

@@ -128,7 +128,7 @@ fn build(
                 continue;
             }
             let gain = parent_sse - sse(y, &left) - sse(y, &right);
-            if best.map_or(true, |(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((feat, threshold, gain));
             }
         }

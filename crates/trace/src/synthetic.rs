@@ -32,7 +32,7 @@ impl ValuePattern {
             ValuePattern::Zeros => 0,
             ValuePattern::Ones => u64::MAX,
             ValuePattern::Checkerboard => {
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     0xAAAA_AAAA_AAAA_AAAA
                 } else {
                     0x5555_5555_5555_5555

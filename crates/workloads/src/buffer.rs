@@ -131,8 +131,8 @@ mod tests {
         let mut space = AddressSpace::new();
         let mut buf = TracedBuffer::zeroed(&mut space, 4);
         let mut tracer = Tracer::new();
-        buf.set_f64(&mut tracer, 0, 3.14159, 0);
-        assert_eq!(buf.get_f64(&mut tracer, 0, 0), 3.14159);
+        buf.set_f64(&mut tracer, 0, 1.234567, 0);
+        assert_eq!(buf.get_f64(&mut tracer, 0, 0), 1.234567);
     }
 
     #[test]

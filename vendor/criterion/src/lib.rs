@@ -1,0 +1,302 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple but
+//! honest measurement loop: a calibration pass sizes the iteration count to
+//! a fixed wall-clock budget, then the median of several timed samples is
+//! reported.
+//!
+//! Environment knobs:
+//! * `WADE_BENCH_MS` — per-benchmark measurement budget in milliseconds
+//!   (default 300).
+//! * a CLI substring argument (as passed by `cargo bench -- <filter>`)
+//!   restricts which benchmarks run.
+//!
+//! Results are printed to stdout (`<name> ... <time>/iter`) and appended as
+//! JSON lines to `target/wade-bench/<bin>.jsonl` so tooling can scrape them.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        Self { name: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Work-rate annotation (recorded, used to print a rate column).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, timing the batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("WADE_BENCH_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(10))
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibration: find an iteration count that fills ~1/4 of the budget.
+    let budget = budget();
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed * 4 >= budget || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        // Grow toward the budget, at least doubling.
+        let target = budget.as_secs_f64() / 4.0;
+        let grow = if b.elapsed.is_zero() {
+            iters * 8
+        } else {
+            ((target / b.elapsed.as_secs_f64()) * iters as f64).ceil() as u64
+        };
+        iters = grow.max(iters * 2);
+    };
+    // Measurement: several samples at the calibrated count; report median.
+    let iters_per_sample = ((budget.as_secs_f64() / 4.0) / per_iter.max(1e-12))
+        .ceil()
+        .max(1.0) as u64;
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters_per_sample as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => format!("  {}/s", fmt_rate(n as f64 / median, "B")),
+        Some(Throughput::Elements(n)) => {
+            format!("  {}/s", fmt_rate(n as f64 / median, "elem"))
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} {:>12}/iter{rate}", fmt_time(median));
+    append_jsonl(name, median);
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+fn append_jsonl(name: &str, seconds_per_iter: f64) {
+    // cargo runs bench binaries with CWD = the package dir, so a bare
+    // relative "target" would scatter per-crate target dirs; resolve the
+    // workspace target by walking up to the directory holding Cargo.lock.
+    let target = std::env::var("CARGO_TARGET_DIR").map(std::path::PathBuf::from).unwrap_or_else(
+        |_| {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+            cwd.ancestors()
+                .find(|dir| dir.join("Cargo.lock").is_file())
+                .unwrap_or(&cwd)
+                .join("target")
+        },
+    );
+    let dir = target.join("wade-bench");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let bin = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".into());
+    // Strip the content hash cargo appends to bench binaries.
+    let bin = bin.rsplit_once('-').map_or(bin.clone(), |(stem, hash)| {
+        if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+            stem.to_string()
+        } else {
+            bin.clone()
+        }
+    });
+    let path = dir.join(format!("{bin}.jsonl"));
+    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(
+            file,
+            "{{\"benchmark\":{name:?},\"seconds_per_iter\":{seconds_per_iter}}}"
+        );
+    }
+}
+
+/// Benchmark registry/driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` plus any user filter after `--`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        if self.enabled(name) {
+            run_benchmark(name, None, f);
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count (accepted for API compatibility; the
+    /// vendored harness sizes samples from the time budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        if self.c.enabled(&full) {
+            run_benchmark(&full, self.throughput, f);
+        }
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        if self.c.enabled(&full) {
+            run_benchmark(&full, self.throughput, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

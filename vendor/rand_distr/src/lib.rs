@@ -1,0 +1,146 @@
+//! Vendored minimal stand-in for `rand_distr`: the [`Poisson`] and
+//! [`LogNormal`] distributions this workspace samples, plus the
+//! [`Distribution`] trait.
+//!
+//! Poisson sampling uses Knuth's product-of-uniforms method for small means
+//! and the normal approximation (Box–Muller) above `mean = 64`, where the
+//! relative error of the approximation is far below the statistical noise
+//! the simulator's tests can resolve.
+
+use rand::{RngCore, Standard};
+
+/// Types that sample values of `T` from a parameterised distribution.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameterisation failure (non-finite or out-of-domain parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One standard-normal draw via Box–Muller (first coordinate only).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+    let u1: f64 = 1.0 - <f64 as Standard>::sample_standard(rng);
+    let u2: f64 = <f64 as Standard>::sample_standard(rng);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// The Poisson distribution; samples are returned as `f64` counts to match
+/// the upstream crate's API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with the given mean.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if `mean` is not finite and positive.
+    pub fn new(mean: f64) -> Result<Self, Error> {
+        if mean.is_finite() && mean > 0.0 {
+            Ok(Self { mean })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean < 64.0 {
+            // Knuth: count uniforms until their product falls below e^-mean.
+            let limit = (-self.mean).exp();
+            let mut product: f64 = <f64 as Standard>::sample_standard(rng);
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= <f64 as Standard>::sample_standard(rng);
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction.
+            let z = standard_normal(rng);
+            (self.mean + self.mean.sqrt() * z + 0.5).floor().max(0.0)
+        }
+    }
+}
+
+/// The log-normal distribution `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// mean and standard deviation.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if `sigma` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_matches_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &mean in &[0.5, 7.0, 40.0, 500.0, 2.0e6] {
+            let d = Poisson::new(mean).unwrap();
+            let n = 3_000;
+            let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+            let got = total / n as f64;
+            let tol = 4.0 * (mean / n as f64).sqrt() + 0.5;
+            assert!((got - mean).abs() < tol, "mean {mean}: got {got}");
+        }
+    }
+
+    #[test]
+    fn poisson_rejects_bad_mean() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(0.0, 2.0).unwrap();
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median.ln()).abs() < 0.1, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,309 @@
+//! Vendored minimal stand-in for `rayon`.
+//!
+//! Implements the slice of rayon's API this workspace uses — `into_par_iter`
+//! / `par_iter`, `map`, `collect::<Vec<_>>`, [`ThreadPoolBuilder`] and
+//! [`ThreadPool::install`] — on top of `std::thread::scope`. Work is
+//! distributed dynamically (shared item queue, so an expensive item does not
+//! stall a whole pre-assigned chunk) and results are **always merged back in
+//! input order**, which is what lets callers guarantee that a computation is
+//! byte-identical no matter how many worker threads run it.
+//!
+//! The thread count comes from, in order: the innermost active
+//! [`ThreadPool::install`], the `WADE_THREADS` environment variable, and
+//! finally [`std::thread::available_parallelism`]. A pool of size 1 runs
+//! inline without spawning.
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations will currently use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("WADE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced; mirrors the
+/// upstream signature).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl core::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the worker-thread count (0 means "use the default").
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails; the `Result` mirrors the upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            }
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: a thread-count scope for parallel operations.
+///
+/// Workers are spawned per operation (scoped threads), so the pool itself
+/// holds no OS resources; what it provides is the deterministic *width*
+/// configuration rayon callers rely on.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count governing all parallel
+    /// operations it performs.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        // Restore on unwind as well, so a panicking closure cannot leak the
+        // override into unrelated work on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _guard = Restore(previous);
+        op()
+    }
+}
+
+/// Order-stable parallel map: applies `f` to every item, using up to
+/// [`current_num_threads`] workers, and returns results in input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let width = current_num_threads();
+    let workers = width.min(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                // Freshly spawned threads have an empty thread-local, so an
+                // installed pool width would silently stop applying to any
+                // nested parallel work run by item closures; propagate it.
+                INSTALLED_THREADS.with(|c| c.set(Some(width)));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let next = queue.lock().expect("work queue poisoned").next();
+                    match next {
+                        Some((i, item)) => local.push((i, f(item))),
+                        None => return local,
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            indexed.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A materialized parallel iterator (items are known up front).
+///
+/// `map` executes eagerly across the current pool — unlike upstream rayon's
+/// lazy pipelines — which is equivalent for the map→collect shapes this
+/// workspace uses and keeps the vendored surface tiny.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving input order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter { items: par_map_vec(self.items, f) }
+    }
+
+    /// Collects the items in input order.
+    pub fn collect<C: FromParallelResults<T>>(self) -> C {
+        C::from_ordered_vec(self.items)
+    }
+}
+
+/// Collection targets for parallel pipelines.
+pub trait FromParallelResults<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered_vec(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Builds the iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Builds the iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let work = |i: usize| -> u64 {
+            // Uneven per-item cost to exercise the dynamic queue.
+            (0..(i % 7) * 1000 + 1)
+                .fold(i as u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x as u64))
+        };
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let many = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let a: Vec<u64> = one.install(|| (0..500usize).into_par_iter().map(work).collect());
+        let b: Vec<u64> = many.install(|| (0..500usize).into_par_iter().map(work).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let _: Vec<usize> = (0..16usize)
+                .into_par_iter()
+                .map(|i| {
+                    assert!(i != 7, "boom");
+                    i
+                })
+                .collect();
+        });
+    }
+}

@@ -1,0 +1,388 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the minimal value-tree
+//! serde in `vendor/serde`.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the macro walks
+//! the raw `TokenStream` to extract just what code generation needs —
+//! field *names* for structs, variant names and arities for enums — and
+//! emits impl blocks as source strings. Field and payload *types* are never
+//! parsed; the generated code leans on type inference through struct
+//! literals and enum constructors, so arbitrarily complex field types cost
+//! the parser nothing.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields, tuple structs, unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching upstream serde's JSON layout).
+//!
+//! Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-tree lowering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error token parses")
+}
+
+// ---- token-level parsing ----------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected struct/enum, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde derive: generic type `{name}` is unsupported"));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Shape::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct { name, arity: count_top_level_items(g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            None => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("serde derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Shape::Enum { name, variants })
+            }
+            other => Err(format!("serde derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde derive: cannot derive for `{other}`")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            // `#[attr]` / doc comments (which lower to `#[doc = "…"]`).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            // `pub` optionally followed by `(crate)` / `(super)` / `(in …)`.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a brace body into top-level comma-separated items, tracking both
+/// group nesting (done by the tokenizer) and `<…>` angle depth (not).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut items: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    items.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for item in split_top_level_commas(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&item, &mut pos);
+        match item.get(pos) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("serde derive: expected field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for item in split_top_level_commas(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&item, &mut pos);
+        let name = match item.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde derive: expected variant, found {other:?}")),
+        };
+        pos += 1;
+        let kind = match item.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            // Unit variant, possibly with `= discriminant` (ignored).
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- code generation --------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            let body = if *arity == 1 {
+                entries.into_iter().next().expect("arity 1")
+            } else {
+                format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let payload = if *n == 1 {
+                                vals[0].clone()
+                            } else {
+                                format!("::serde::Value::Seq(vec![{}])", vals.join(", "))
+                            };
+                            format!(
+                                "{name}::{v}({}) => ::serde::Value::Map(vec![(::std::string::String::from({v:?}), {payload})])",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![(::std::string::String::from({v:?}), ::serde::Value::Map(vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let items: Vec<String> =
+                    (0..*arity).map(|i| format!("::serde::idx(items, {i})?")).collect();
+                format!(
+                    "let items = ::serde::as_seq(v, {arity})?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let v = &v.name;
+                    format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => unreachable!("filtered above"),
+                        VariantKind::Tuple(1) => format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> =
+                                (0..*arity).map(|i| format!("::serde::idx(items, {i})?")).collect();
+                            format!(
+                                "{v:?} => {{ let items = ::serde::as_seq(payload, {arity})?;\n\
+                                 ::std::result::Result::Ok({name}::{v}({})) }},",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(payload, {f:?})?"))
+                                .collect();
+                            format!(
+                                "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"expected {name} variant\")),\n\
+                 }}\n}}\n}}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
