@@ -1,4 +1,4 @@
-//! DRAM error-simulator benchmarks, including the DESIGN.md ablations:
+//! DRAM error-simulator benchmarks, including the ARCHITECTURE.md §5 ablations:
 //! disturbance on/off and weak-cell population scaling.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -72,6 +72,60 @@ fn main() {
         ));
     }
 
+    // The ROADMAP-predicted biggest win: PUE repeats and TREFP set-points
+    // share one weak-cell population, so the prepared path realizes it
+    // once per workload and replays run randomness only. `direct` times
+    // Campaign::characterize (ErrorSim::run per run); `prepared` times
+    // Campaign::prepare + characterize_prepared over the same grid and
+    // seeds. Byte-identity of the two paths is asserted (untimed).
+    eprintln!("[bench] campaign PUE repeats, prepared vs direct …");
+    let pue_repeats = 10u32;
+    let pue_ops: Vec<OperatingPoint> = OperatingPoint::PUE_TREFP_SWEEP
+        .iter()
+        .map(|&t| OperatingPoint::relaxed(t, 70.0))
+        .collect();
+    let pue_campaign = Campaign::new(
+        SimulatedServer::with_seed(5),
+        CampaignConfig {
+            run_duration_s: 7200.0,
+            pue_repeats,
+            wer_ops: Vec::new(),
+            pue_ops: pue_ops.clone(),
+        },
+    );
+    let pue_suite = paper_suite(Scale::Test);
+    let pue_profiled: Vec<_> =
+        pue_suite.iter().take(3).map(|w| pue_campaign.profile(w.as_ref(), 1)).collect();
+    let direct_ms = median_ms(ref_samples, || {
+        for (i, p) in pue_profiled.iter().enumerate() {
+            for &op in &pue_ops {
+                pue_campaign.characterize(p, op, pue_repeats, 1000 + i as u64);
+            }
+        }
+    });
+    let prepared_ms = median_ms(cur_samples, || {
+        for (i, p) in pue_profiled.iter().enumerate() {
+            let prep = pue_campaign.prepare(p, &pue_ops);
+            for &op in &pue_ops {
+                pue_campaign.characterize_prepared(&prep, op, pue_repeats, 1000 + i as u64);
+            }
+        }
+    });
+    let identical = {
+        let p = &pue_profiled[0];
+        let prep = pue_campaign.prepare(p, &pue_ops);
+        pue_ops.iter().all(|&op| {
+            pue_campaign.characterize(p, op, pue_repeats, 77)
+                == pue_campaign.characterize_prepared(&prep, op, pue_repeats, 77)
+        })
+    };
+    sections.push(format!(
+        "    \"campaign_pue_repeats\": {{\n      \"workloads\": {},\n      \"ops\": {},\n      \"repeats\": {pue_repeats},\n      \"direct_ms\": {direct_ms:.3},\n      \"prepared_ms\": {prepared_ms:.3},\n      \"speedup_prepared_vs_direct\": {:.2},\n      \"byte_identical\": {identical}\n    }}",
+        pue_profiled.len(),
+        pue_ops.len(),
+        direct_ms / prepared_ms.max(1e-9),
+    ));
+
     eprintln!("[bench] campaign quick grid …");
     let suite = paper_suite(Scale::Test);
     let collect = |threads: usize| {

@@ -1,10 +1,16 @@
 //! # wade-bench — experiment harness
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! One binary per table/figure of the paper (see ARCHITECTURE.md §4 for the
 //! index) plus Criterion benchmarks. This library holds the shared
 //! plumbing: the reference server/campaign construction, a disk cache for
 //! the collected campaign data (so each figure binary doesn't recollect),
 //! and small table-printing helpers.
+//!
+//! ```no_run
+//! // The shared full-grid campaign (collected once, cached under target/):
+//! let data = wade_bench::full_campaign_data();
+//! println!("{} rows from the reference server", data.rows.len());
+//! ```
 
 #![deny(missing_docs)]
 

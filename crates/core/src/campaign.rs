@@ -9,11 +9,25 @@
 //! settling stays grouped per temperature set-point, exactly like the
 //! physical campaign heats the DIMMs once per set-point and then sweeps
 //! refresh periods.
+//!
+//! # Population caching
+//!
+//! Within one temperature set-point, every refresh-period set-point of a
+//! workload — and every PUE repeat — thresholds the **same** weak-cell
+//! population (the simulator keys populations by (device, rank, segment,
+//! cell, temp, vdd); see `wade_dram`'s `sim` module docs, which are
+//! normative). [`Campaign::collect`] therefore groups the grid by that
+//! population key, realizes each group **once** into a
+//! [`wade_dram::PreparedRun`] on the shared pool, and fans out replays
+//! that re-draw only run randomness. Replay is bit-for-bit identical to
+//! the direct path ([`Campaign::collect_direct`] — the reference
+//! implementation kept for verification), so collected campaigns are
+//! byte-identical whichever path produced them, at any thread count.
 
 use crate::server::{ProfiledWorkload, SimulatedServer};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use wade_dram::{ErrorSim, OperatingPoint, RunResult, RANK_COUNT};
+use wade_dram::{ErrorSim, OperatingPoint, PreparedRun, RunResult, RANK_COUNT};
 use wade_features::FeatureVector;
 use wade_workloads::Workload;
 
@@ -65,7 +79,7 @@ impl CampaignConfig {
 }
 
 /// Characterization outcome for one (workload, op): WER runs or PUE repeats.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CharacterizationOutcome {
     /// Aggregate WER (eq. 2) of the run (0 when the run crashed early).
     pub wer: f64,
@@ -90,7 +104,7 @@ impl CharacterizationOutcome {
 
 /// One campaign row: a (workload, operating point) cell with its profiling
 /// features and characterization results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignRow {
     /// Benchmark label.
     pub workload: String,
@@ -115,7 +129,7 @@ impl CampaignRow {
 }
 
 /// The full collected dataset of a campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignData {
     /// All (workload × op) rows.
     pub rows: Vec<CampaignRow>,
@@ -176,7 +190,9 @@ impl Campaign {
         self.server.profile_workload(workload, seed)
     }
 
-    /// Characterizes one profiled workload at one op for `repeats` runs.
+    /// Characterizes one profiled workload at one op for `repeats` runs via
+    /// the direct path ([`ErrorSim::run`]): the population is re-realized
+    /// from its streams on every run.
     ///
     /// Repeats are independent (each has its own derived seed), so they fan
     /// out on the shared rayon pool — the simulated analogue of queueing
@@ -191,29 +207,76 @@ impl Campaign {
         seed: u64,
     ) -> Vec<CharacterizationOutcome> {
         let sim = ErrorSim::new(self.server.device());
-        let run_one = |r: u32| {
-            let run = sim.run(
-                &profiled.profile,
-                op,
-                self.config.run_duration_s,
-                seed ^ (r as u64).wrapping_mul(0x9E37_79B9),
-            );
-            CharacterizationOutcome::from_run(&run)
-        };
+        self.repeat_runs(repeats, |r| {
+            sim.run(&profiled.profile, op, self.config.run_duration_s, repeat_seed(seed, r))
+        })
+    }
+
+    /// Freezes the weak-cell population a workload shares across `ops`
+    /// (one (temperature, voltage) pair, any refresh periods) so that
+    /// [`Campaign::characterize_prepared`] can replay it per set-point and
+    /// per repeat without re-realizing it. See [`wade_dram::PreparedRun`]
+    /// for the byte-identical-replay guarantee.
+    ///
+    /// # Panics
+    /// Panics if `ops` is empty or mixes temperatures or voltages.
+    pub fn prepare(&self, profiled: &ProfiledWorkload, ops: &[OperatingPoint]) -> PreparedRun<'_> {
+        ErrorSim::new(self.server.device()).prepare(&profiled.profile, ops)
+    }
+
+    /// [`Campaign::characterize`] against a frozen population: same seeds,
+    /// same fan-out, bit-identical outcomes — only the realization work is
+    /// skipped.
+    pub fn characterize_prepared(
+        &self,
+        prepared: &PreparedRun<'_>,
+        op: OperatingPoint,
+        repeats: u32,
+        seed: u64,
+    ) -> Vec<CharacterizationOutcome> {
+        self.repeat_runs(repeats, |r| {
+            prepared.run(op, self.config.run_duration_s, repeat_seed(seed, r))
+        })
+    }
+
+    /// The shared repeat fan-out of both characterization paths.
+    fn repeat_runs(
+        &self,
+        repeats: u32,
+        run_one: impl Fn(u32) -> RunResult + Sync,
+    ) -> Vec<CharacterizationOutcome> {
+        let outcome = |r: u32| CharacterizationOutcome::from_run(&run_one(r));
         if repeats <= 1 {
-            return (0..repeats).map(run_one).collect();
+            return (0..repeats).map(outcome).collect();
         }
-        (0..repeats as usize).into_par_iter().map(|r| run_one(r as u32)).collect()
+        (0..repeats as usize).into_par_iter().map(|r| outcome(r as u32)).collect()
     }
 
     /// Runs the full data-collection process of Fig. 3 over a suite:
-    /// thermal settling, profiling, WER grid, PUE grid.
+    /// thermal settling, profiling, WER grid, PUE grid — with
+    /// population caching (each (workload, temperature, voltage) group is
+    /// realized once and replayed per set-point and repeat).
     ///
     /// Within each temperature set-point the whole (op × workload) block —
     /// including every PUE repeat — is one flat parallel workload on the
     /// shared pool; rows are emitted in the same stable order as the
-    /// sequential loop (ops sorted by temperature, then suite order).
-    pub fn collect(mut self, suite: &[Box<dyn Workload>], seed: u64) -> CampaignData {
+    /// sequential loop (ops sorted by temperature, then suite order), and
+    /// the collected data is byte-identical to [`Campaign::collect_direct`]
+    /// at the same seed, on any number of threads.
+    pub fn collect(self, suite: &[Box<dyn Workload>], seed: u64) -> CampaignData {
+        self.collect_impl(suite, seed, true)
+    }
+
+    /// The reference collection path: identical grid, seeds and row order
+    /// as [`Campaign::collect`], but every run re-realizes its population
+    /// directly ([`Campaign::characterize`]). Kept as the verification
+    /// baseline for the prepared path — `tests/prepared_replay.rs` asserts
+    /// the two produce byte-identical campaigns.
+    pub fn collect_direct(self, suite: &[Box<dyn Workload>], seed: u64) -> CampaignData {
+        self.collect_impl(suite, seed, false)
+    }
+
+    fn collect_impl(mut self, suite: &[Box<dyn Workload>], seed: u64, prepared: bool) -> CampaignData {
         let mut rows: Vec<CampaignRow> = Vec::new();
         let mut simulated = 0.0;
         let profiled: Vec<ProfiledWorkload> =
@@ -238,21 +301,74 @@ impl Campaign {
             self.server.thermal_mut().set_all_targets(temp);
             simulated += self.server.thermal_mut().settle(0.5, 3600.0);
 
-            let grid: Vec<(OperatingPoint, bool, usize)> = all_ops[cursor..block_end]
+            let block_ops = &all_ops[cursor..block_end];
+            // Population keys within the block: the temperature is fixed,
+            // so groups are (workload, vdd) — in practice one vdd, i.e.
+            // one prepared population per workload per set-point.
+            let vdds: Vec<u64> = {
+                let mut v: Vec<u64> = Vec::new();
+                for (op, _) in block_ops {
+                    if !v.contains(&op.vdd_v.to_bits()) {
+                        v.push(op.vdd_v.to_bits());
+                    }
+                }
+                v
+            };
+            let campaign = &self;
+            let profiled_ref = &profiled;
+            // Realize each group's population once, on the shared pool
+            // (each realization also fans out internally). Groups that
+            // would be replayed only once (a lone set-point with no
+            // repeats) skip preparation — freezing a population that is
+            // thresholded a single time costs more than the direct run it
+            // would save. The direct path skips all of this entirely.
+            let prepared_groups: Vec<Option<PreparedRun<'_>>> = if prepared {
+                let groups: Vec<(usize, u64)> = (0..profiled.len())
+                    .flat_map(|w| vdds.iter().map(move |&v| (w, v)))
+                    .collect();
+                groups
+                    .into_par_iter()
+                    .map(|(w, vdd_bits)| {
+                        let ops: Vec<OperatingPoint> = block_ops
+                            .iter()
+                            .filter(|(op, _)| op.vdd_v.to_bits() == vdd_bits)
+                            .map(|&(op, _)| op)
+                            .collect();
+                        let replays: u32 = block_ops
+                            .iter()
+                            .filter(|(op, _)| op.vdd_v.to_bits() == vdd_bits)
+                            .map(|&(_, is_pue)| if is_pue { campaign.config.pue_repeats } else { 1 })
+                            .sum();
+                        (replays > 1).then(|| campaign.prepare(&profiled_ref[w], &ops))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            let grid: Vec<(OperatingPoint, bool, usize)> = block_ops
                 .iter()
                 .flat_map(|&(op, is_pue)| {
                     (0..profiled.len()).map(move |w| (op, is_pue, w))
                 })
                 .collect();
-            let campaign = &self;
-            let profiled_ref = &profiled;
             let block_rows: Vec<CampaignRow> = grid
                 .into_par_iter()
                 .map(|(op, is_pue, w)| {
                     let p = &profiled_ref[w];
                     let row_seed = seed ^ hash_name(&p.name) ^ ((op.trefp_s * 1e4) as u64);
                     let repeats = if is_pue { campaign.config.pue_repeats } else { 1 };
-                    let mut runs = campaign.characterize(p, op, repeats, row_seed);
+                    let group = if prepared {
+                        let vdd_idx =
+                            vdds.iter().position(|&v| v == op.vdd_v.to_bits()).unwrap();
+                        prepared_groups[w * vdds.len() + vdd_idx].as_ref()
+                    } else {
+                        None
+                    };
+                    let mut runs = match group {
+                        Some(prep) => campaign.characterize_prepared(prep, op, repeats, row_seed),
+                        None => campaign.characterize(p, op, repeats, row_seed),
+                    };
                     let (wer_run, pue_runs) = if is_pue {
                         (None, runs)
                     } else {
@@ -276,6 +392,11 @@ impl Campaign {
         }
         CampaignData { rows, simulated_seconds: simulated }
     }
+}
+
+/// The derived seed of repeat `r` (shared by both characterization paths).
+fn repeat_seed(seed: u64, r: u32) -> u64 {
+    seed ^ (r as u64).wrapping_mul(0x9E37_79B9)
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -350,6 +471,36 @@ mod tests {
         let parallel = collect_with(8);
         assert_eq!(serial.simulated_seconds, parallel.simulated_seconds);
         assert_eq!(serial.to_json().unwrap(), parallel.to_json().unwrap());
+    }
+
+    #[test]
+    fn collect_matches_the_direct_reference_path() {
+        // The prepared-population cache must be invisible: byte-identical
+        // campaign data whether populations are realized per run or frozen
+        // once per (workload, temp, vdd) group.
+        let suite = tiny_suite();
+        let cached = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+            .collect(&suite, 3);
+        let direct = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+            .collect_direct(&suite, 3);
+        assert_eq!(cached.simulated_seconds, direct.simulated_seconds);
+        assert_eq!(cached.to_json().unwrap(), direct.to_json().unwrap());
+    }
+
+    #[test]
+    fn prepared_characterization_matches_direct_per_row() {
+        let campaign = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+        let wl = WorkloadId::Memcached.instantiate(8, Scale::Test);
+        let p = campaign.profile(wl.as_ref(), 2);
+        let ops: Vec<_> = CampaignConfig::quick().pue_ops;
+        let prepared = campaign.prepare(&p, &ops);
+        for &op in &ops {
+            assert_eq!(
+                campaign.characterize(&p, op, 3, 17),
+                campaign.characterize_prepared(&prepared, op, 3, 17),
+                "prepared replay diverged at {op}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //!    `H_DP`) — the *profiling phase* of Fig. 3,
 //! 2. **characterizes** DRAM error behaviour while running them under
 //!    relaxed refresh period / lowered voltage / elevated temperature — the
-//!    *DRAM characterization phase*,
+//!    *DRAM characterization phase* (weak-cell populations are frozen once
+//!    per (workload, temperature, voltage) via [`PreparedRun`] and replayed
+//!    across refresh-period set-points and PUE repeats, byte-identically to
+//!    the direct path),
 //! 3. **trains** the error model `M(Ftrs, Dev, TREFP, VDD, TEMP) → WER, PUE`
 //!    (eq. 1) with SVM / KNN / RDF learners, and
 //! 4. **predicts** error rates for unseen workloads in microseconds instead
@@ -38,11 +41,11 @@ mod server;
 mod thermal;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRow, CharacterizationOutcome};
-pub use collect::{build_pue_dataset, build_wer_dataset, op_augmented_row};
+pub use collect::{build_pue_dataset, build_wer_dataset, op_augmented_row, MIN_CE_COUNT};
 pub use error::WadeError;
 pub use model::{train_error_model, AnyModel, ErrorModel, MlKind};
 pub use predictor::{evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport};
 pub use server::{ProfiledWorkload, SimulatedServer};
 pub use thermal::{PidController, ThermalTestbed};
 
-pub use wade_dram::{DramUsageProfile, OperatingPoint};
+pub use wade_dram::{DramUsageProfile, OperatingPoint, PreparedRun};

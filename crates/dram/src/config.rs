@@ -61,7 +61,7 @@ pub struct ErrorPhysics {
     pub os_resident_words: u64,
     /// Spatial-correlation boost for *companion* weak bits: defects cluster
     /// (shared peripheral circuitry — the multi-bit faults of field studies
-    /// [71]), so the probability that a manifesting cell's 71 word-mates
+    /// \[71\]), so the probability that a manifesting cell's 71 word-mates
     /// contain another below-threshold cell is the independent-cell rate
     /// times this factor. A companion makes the word uncorrectable; this is
     /// what crashes *every* workload at 2.283 s / 70 °C (Fig. 9a) while
@@ -84,12 +84,12 @@ pub struct ErrorPhysics {
     pub scrub_rate_hz: f64,
     /// Failure-onset rate (1/s): a weak cell's first actual decay event is
     /// stochastic (retention fluctuates around its tail value — the VRT
-    /// phenomenology of [65]). An exponential onset with mean 1800 s makes
+    /// phenomenology of \[65\]). An exponential onset with mean 1800 s makes
     /// 2-hour WER timelines converge with <3 % change over the last
     /// 10 minutes, matching §V-A / Figs. 2 and 4.
     pub onset_rate_hz: f64,
     /// Probability that a weak cell's VRT state is leaky at any instant
-    /// (two-state telegraph model; §V-A, [65]).
+    /// (two-state telegraph model; §V-A, \[65\]).
     pub vrt_active_fraction: f64,
     /// VRT toggle rate (1/s).
     pub vrt_toggle_rate_hz: f64,
@@ -122,7 +122,7 @@ impl ErrorPhysics {
     }
 
     /// Physics with the disturbance (cell-to-cell interference) terms
-    /// disabled — the ablation called out in DESIGN.md §5.
+    /// disabled — the ablation called out in ARCHITECTURE.md §5.
     pub fn without_disturbance(mut self) -> Self {
         self.disturb_flips_per_activation = 0.0;
         self.ue_burst_coeff = 0.0;

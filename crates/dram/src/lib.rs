@@ -23,6 +23,12 @@
 //! a few hundred to ~10⁶ weak cells, which we sample individually. The
 //! workload couples in through a compact [`DramUsageProfile`].
 //!
+//! Campaigns that re-measure one population (refresh-period sweeps, PUE
+//! repeats) can freeze it once with [`ErrorSim::prepare`] and replay runs
+//! from the resulting [`PreparedRun`] — bit-identical to [`ErrorSim::run`]
+//! at a fraction of the cost. The seeding contract that makes this sound is
+//! documented (normatively) in the `sim` module source.
+//!
 //! ```
 //! use wade_dram::{DramDevice, DramUsageProfile, ErrorSim, OperatingPoint};
 //!
@@ -43,6 +49,7 @@ mod event;
 mod fx;
 mod geometry;
 mod op;
+mod prepared;
 mod profile;
 mod retention;
 mod sim;
@@ -56,6 +63,7 @@ pub use fx::{FxHashMap, FxHasher};
 pub use geometry::{RankId, ServerGeometry, RANK_COUNT};
 pub use op::OperatingPoint;
 pub use profile::{DramUsageProfile, ReuseQuantiles};
+pub use prepared::PreparedRun;
 pub use retention::RetentionLaw;
 pub use sim::ErrorSim;
 pub use variation::RankVariation;

@@ -1,0 +1,362 @@
+//! Campaign-level caching: freeze a weak-cell population once, replay many
+//! runs against it.
+//!
+//! A characterization campaign re-measures the **same** physical cells over
+//! and over: every PUE repeat and every refresh-period set-point at one
+//! (temperature, voltage) pair thresholds one fixed population (the seeding
+//! contract in [`sim`](crate::ErrorSim) keys populations by `(device, rank,
+//! segment, cell, temp, vdd)` — never by `TREFP` or the run seed). The
+//! direct path re-realizes that population from its streams on every call;
+//! [`PreparedRun`] realizes it **once** into a compact frozen arena and
+//! replays only the `(op, run seed, cell)` run randomness per call.
+//!
+//! Replay is **bit-for-bit identical** to [`crate::ErrorSim::run`] at the
+//! same seed, because both paths execute the same gate and manifestation
+//! code against the same derived streams — the only difference is *when*
+//! the population draws happen. The tests in this module (and the campaign
+//! tests in `wade-core`) assert the identity, including across rayon pool
+//! widths.
+
+use crate::device::DramDevice;
+use crate::event::RunResult;
+use crate::op::OperatingPoint;
+use crate::profile::DramUsageProfile;
+use crate::sim::{finalize_outcomes, Candidate, GatedCell, OsCell, OsSource, RunContext, UnitOutcome};
+use rayon::prelude::*;
+
+/// One frozen weak cell of the benchmark-footprint population: every
+/// attribute that is a pure function of the population streams, plus the
+/// profile-derived read rate of its word. 48 bytes per cell.
+///
+/// Cells that can never manifest anywhere in the prepared envelope are
+/// dropped at realization time, so the arena holds only cells a replay
+/// might have to gate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PreparedCell {
+    /// Retention quantile — compared against each replay's thinning cap
+    /// with exactly the direct path's comparison.
+    pub(crate) q: f64,
+    /// Retention time at `q` (seconds).
+    pub(crate) retention: f64,
+    /// 64-bit word index within the footprint, on the cell's rank.
+    pub(crate) word: u64,
+    /// `(segment << 24) | index` — the cell's identity in the derived
+    /// run-stream domain.
+    pub(crate) cell_key: u64,
+    /// Word-level read rate (reads + patrol scrub) of the cell's region;
+    /// profile-derived, so refresh-period independent.
+    pub(crate) read_rate: f64,
+    /// Bit lane within the 72-bit ECC word.
+    pub(crate) lane: u8,
+    /// Reuse bucket for the implicit-refresh gate and companion weight.
+    pub(crate) bucket: u8,
+}
+
+/// One rank's frozen realization: benchmark-footprint cells in canonical
+/// (segment, cell) order plus the OS-resident walk in quantile order.
+#[derive(Debug, Clone)]
+struct PreparedRank {
+    cells: Vec<PreparedCell>,
+    os_cells: Vec<OsCell>,
+}
+
+/// A frozen realization of one device's weak-cell population for one
+/// (usage profile, temperature, voltage) key, replayable at any refresh
+/// period up to the prepared envelope and any run seed.
+///
+/// Build one with [`crate::ErrorSim::prepare`], then call
+/// [`PreparedRun::run`] once per (set-point, repeat):
+///
+/// ```
+/// use wade_dram::{DramDevice, DramUsageProfile, ErrorSim, OperatingPoint};
+///
+/// let device = DramDevice::with_seed(7);
+/// let profile = DramUsageProfile::uniform_synthetic(1 << 20);
+/// let sweep = [OperatingPoint::relaxed(1.727, 60.0), OperatingPoint::relaxed(2.283, 60.0)];
+/// let sim = ErrorSim::new(&device);
+/// let prepared = sim.prepare(&profile, &sweep);
+/// for op in sweep {
+///     for run_seed in 0..3 {
+///         // Bit-identical to `sim.run(&profile, op, 7200.0, run_seed)`.
+///         assert_eq!(prepared.run(op, 7200.0, run_seed), sim.run(&profile, op, 7200.0, run_seed));
+///     }
+/// }
+/// ```
+///
+/// # Replay guarantee
+///
+/// `prepared.run(op, d, s)` returns a [`RunResult`] **byte-identical** to
+/// `ErrorSim::run(&profile, op, d, s)` for every operating point inside
+/// the prepared envelope, on any rayon pool width. The guarantee holds by
+/// construction (shared gate/manifestation code over per-cell derived
+/// streams) and is enforced by tests at both the simulator and the
+/// campaign layer.
+#[derive(Debug, Clone)]
+pub struct PreparedRun<'d> {
+    device: &'d DramDevice,
+    profile: DramUsageProfile,
+    temp_c: f64,
+    vdd_v: f64,
+    max_trefp_s: f64,
+    ranks: Vec<PreparedRank>,
+}
+
+/// Parallel slices each rank's frozen cell arena is split into for replay
+/// (slice boundaries are deterministic, and the order-stable merge makes
+/// them invisible in the output).
+const REPLAY_SLICES: usize = 8;
+
+impl<'d> PreparedRun<'d> {
+    /// Realizes the population shared by `ops` (all at one temperature and
+    /// voltage) from its derived streams. See [`crate::ErrorSim::prepare`].
+    pub(crate) fn realize(
+        device: &'d DramDevice,
+        profile: &DramUsageProfile,
+        ops: &[OperatingPoint],
+    ) -> Self {
+        assert!(!ops.is_empty(), "PreparedRun needs at least one operating point");
+        profile.validate().expect("invalid DRAM usage profile");
+        let (temp_c, vdd_v) = (ops[0].temp_c, ops[0].vdd_v);
+        let mut max_trefp_s = f64::MIN;
+        for op in ops {
+            op.validate().expect("invalid operating point");
+            assert!(
+                op.temp_c == temp_c && op.vdd_v == vdd_v,
+                "prepared populations are keyed by (temperature, voltage); \
+                 {op} does not match {temp_c} °C / {vdd_v} V"
+            );
+            max_trefp_s = max_trefp_s.max(op.trefp_s);
+        }
+        // The envelope context: the group's longest refresh period, under
+        // which every other set-point's candidate set is a subset. Duration
+        // and run seed are placeholders — realization touches population
+        // streams only.
+        let envelope = OperatingPoint { trefp_s: max_trefp_s, vdd_v, temp_c };
+        let ctx = RunContext::new(device, profile, envelope, 0.0, 0);
+        let rank_count = device.geometry().total_ranks();
+        let chunks = RunContext::chunks_per_rank();
+
+        enum Realized {
+            Cells(Vec<PreparedCell>),
+            Os(Vec<OsCell>),
+        }
+        let units: Vec<(usize, usize)> = (0..rank_count)
+            .flat_map(|r| (0..=chunks).map(move |c| (r, c)))
+            .collect();
+        let outputs: Vec<Realized> = units
+            .into_par_iter()
+            .map(|(rank, chunk)| {
+                if chunk < chunks {
+                    Realized::Cells(ctx.prepare_chunk(rank, chunk as u64))
+                } else {
+                    Realized::Os(ctx.os_walk(rank).collect())
+                }
+            })
+            .collect();
+
+        let mut ranks = Vec::with_capacity(rank_count);
+        let mut iter = outputs.into_iter();
+        for _ in 0..rank_count {
+            let mut cells = Vec::new();
+            for _ in 0..chunks {
+                let Some(Realized::Cells(chunk)) = iter.next() else {
+                    unreachable!("population chunk expected");
+                };
+                cells.extend(chunk);
+            }
+            let Some(Realized::Os(os_cells)) = iter.next() else {
+                unreachable!("OS walk expected");
+            };
+            ranks.push(PreparedRank { cells, os_cells });
+        }
+        Self { device, profile: profile.clone(), temp_c, vdd_v, max_trefp_s, ranks }
+    }
+
+    /// The device this population was realized against.
+    pub fn device(&self) -> &'d DramDevice {
+        self.device
+    }
+
+    /// The usage profile the population was realized for.
+    pub fn profile(&self) -> &DramUsageProfile {
+        &self.profile
+    }
+
+    /// Total frozen cells across all ranks (benchmark footprint + OS).
+    pub fn frozen_cells(&self) -> usize {
+        self.ranks.iter().map(|r| r.cells.len() + r.os_cells.len()).sum()
+    }
+
+    /// Replays one characterization run against the frozen population:
+    /// re-applies the per-operating-point gates (thinning cap and implicit
+    /// refresh) and plays out discovery/companion/disturbance/burst
+    /// randomness from the `(op, run seed, cell)` derived streams.
+    ///
+    /// Bit-identical to [`crate::ErrorSim::run`] with the same arguments
+    /// (see the type-level *Replay guarantee*).
+    ///
+    /// # Panics
+    /// Panics if `op` fails validation, does not match the prepared
+    /// (temperature, voltage) key, or exceeds the prepared refresh-period
+    /// envelope.
+    pub fn run(&self, op: OperatingPoint, duration_s: f64, run_seed: u64) -> RunResult {
+        op.validate().expect("invalid operating point");
+        assert!(
+            op.temp_c == self.temp_c && op.vdd_v == self.vdd_v,
+            "replay at {op} against a population prepared for {} °C / {} V",
+            self.temp_c,
+            self.vdd_v
+        );
+        assert!(
+            op.trefp_s <= self.max_trefp_s,
+            "replay TREFP {} s exceeds the prepared envelope {} s",
+            op.trefp_s,
+            self.max_trefp_s
+        );
+        let ctx = RunContext::new(self.device, &self.profile, op, duration_s, run_seed);
+        let rank_count = self.ranks.len();
+        let units: Vec<(usize, usize)> = (0..rank_count)
+            .flat_map(|r| (0..=REPLAY_SLICES).map(move |s| (r, s)))
+            .collect();
+        let outcomes: Vec<UnitOutcome> = units
+            .into_par_iter()
+            .map(|(rank, slice)| {
+                if slice < REPLAY_SLICES {
+                    UnitOutcome::Pop(self.replay_slice(&ctx, rank, slice))
+                } else {
+                    UnitOutcome::Aux(
+                        ctx.aux_channels(rank, OsSource::Prepared(&self.ranks[rank].os_cells)),
+                    )
+                }
+            })
+            .collect();
+        finalize_outcomes(
+            outcomes,
+            rank_count,
+            REPLAY_SLICES,
+            self.profile.footprint_words,
+            duration_s,
+        )
+    }
+
+    /// Replays one deterministic slice of a rank's frozen cells, in stored
+    /// (segment, cell) order: gate at the replay op, then run randomness.
+    fn replay_slice(&self, ctx: &RunContext<'_>, rank_index: usize, slice: usize) -> Vec<Candidate> {
+        let cells = &self.ranks[rank_index].cells;
+        let lo = cells.len() * slice / REPLAY_SLICES;
+        let hi = cells.len() * (slice + 1) / REPLAY_SLICES;
+        let rank_run_seed = ctx.rank_run_seed(rank_index);
+        let p_companion_unit = ctx.p_companion_unit(rank_index);
+        let mut out = Vec::with_capacity((hi - lo) / 2 + 4);
+        for cell in &cells[lo..hi] {
+            if !ctx.cell_is_live(cell.q, cell.retention, cell.bucket as usize) {
+                continue;
+            }
+            let gated = GatedCell {
+                bucket: cell.bucket as usize,
+                word: cell.word,
+                lane: cell.lane,
+                read_rate: cell.read_rate,
+                cell_key: cell.cell_key,
+            };
+            if let Some(cand) = ctx.manifest_cell(&gated, rank_run_seed, p_companion_unit) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::ErrorSim;
+
+    fn device() -> DramDevice {
+        DramDevice::with_seed(39)
+    }
+
+    fn profile() -> DramUsageProfile {
+        DramUsageProfile::uniform_synthetic(1 << 27)
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_direct_runs_across_the_sweep() {
+        // The heart of the caching contract: one realization, many ops and
+        // seeds, every result byte-identical to the unprepared path.
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let p = profile();
+        let ops = [
+            OperatingPoint::relaxed(0.618, 60.0),
+            OperatingPoint::relaxed(1.173, 60.0),
+            OperatingPoint::relaxed(1.727, 60.0),
+            OperatingPoint::relaxed(2.283, 60.0),
+        ];
+        let prepared = sim.prepare(&p, &ops);
+        for op in ops {
+            for seed in [1, 9] {
+                assert_eq!(
+                    prepared.run(op, 7200.0, seed),
+                    sim.run(&p, op, 7200.0, seed),
+                    "prepared replay diverged at {op} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical_at_the_crash_prone_point() {
+        // 70 °C at the maximum refresh period exercises the UE channels
+        // (OS pair collisions, companions, bursts).
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let p = profile();
+        let ops: Vec<OperatingPoint> =
+            OperatingPoint::PUE_TREFP_SWEEP.iter().map(|&t| OperatingPoint::relaxed(t, 70.0)).collect();
+        let prepared = sim.prepare(&p, &ops);
+        for &op in &ops {
+            for seed in 0..4 {
+                assert_eq!(prepared.run(op, 7200.0, seed), sim.run(&p, op, 7200.0, seed));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_identical_across_thread_counts() {
+        let d = device();
+        let p = profile();
+        let op = OperatingPoint::relaxed(2.283, 70.0);
+        let run_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| ErrorSim::new(&d).prepare(&p, &[op]).run(op, 7200.0, 11))
+        };
+        assert_eq!(run_with(1), run_with(8));
+    }
+
+    #[test]
+    fn prepared_arena_is_nonempty_and_reported() {
+        let d = device();
+        let prepared = ErrorSim::new(&d).prepare(&profile(), &[OperatingPoint::relaxed(2.283, 60.0)]);
+        assert!(prepared.frozen_cells() > 0);
+        assert_eq!(prepared.profile().footprint_words, profile().footprint_words);
+    }
+
+    #[test]
+    #[should_panic(expected = "keyed by (temperature, voltage)")]
+    fn mixed_temperatures_are_rejected() {
+        let d = device();
+        ErrorSim::new(&d).prepare(
+            &profile(),
+            &[OperatingPoint::relaxed(1.727, 50.0), OperatingPoint::relaxed(1.727, 60.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the prepared envelope")]
+    fn replay_beyond_the_envelope_is_rejected() {
+        let d = device();
+        let prepared = ErrorSim::new(&d).prepare(&profile(), &[OperatingPoint::relaxed(1.173, 60.0)]);
+        prepared.run(OperatingPoint::relaxed(2.283, 60.0), 7200.0, 1);
+    }
+}

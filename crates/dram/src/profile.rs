@@ -56,7 +56,7 @@ impl ReuseQuantiles {
 
 /// Everything the DRAM error simulator needs to know about a running
 /// workload. Built by the data-collection layer from the instrumentation
-/// ([`wade_trace::TraceReport`]) and SoC counters, extrapolated to
+/// (`wade_trace::TraceReport`) and SoC counters, extrapolated to
 /// deployment scale (the paper allocates 8 GB per benchmark).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DramUsageProfile {

@@ -68,6 +68,24 @@
 //! pair-collision bookkeeping (two corrupted bits in one word → UE) sees
 //! events in a canonical order and a run is byte-identical on 1 thread and
 //! N threads (`run_is_identical_across_thread_counts` asserts this).
+//!
+//! # Campaign-level caching: [`PreparedRun`]
+//!
+//! The population/run split above is exactly what makes campaign-level
+//! caching sound: everything drawn from *population* streams is a pure
+//! function of `(device, rank, segment, cell, temp, vdd)` and can be
+//! realized **once** for an entire TREFP sweep and all PUE repeats, then
+//! replayed with fresh run randomness only. [`ErrorSim::prepare`] freezes a
+//! rank's realized cells (and the OS-resident walk) into a
+//! [`PreparedRun`]; `PreparedRun::run` re-applies the per-operating-point
+//! gates and plays out the `(op, run seed, cell)` streams. Both paths share
+//! the same gate and manifestation code (`RunContext::sample_cell_attrs` /
+//! `RunContext::manifest_cell`), so a prepared replay is **bit-for-bit
+//! identical** to the direct [`ErrorSim::run`] at the same seed — the
+//! `prepared` module's tests and `wade-core`'s campaign tests assert this.
+//!
+//! [`PreparedRun`]: crate::PreparedRun
+//! [`ErrorSim::prepare`]: ErrorSim::prepare
 
 use crate::device::DramDevice;
 use crate::event::{CeEvent, RunResult, UeEvent};
@@ -113,26 +131,45 @@ pub struct ErrorSim<'d> {
 
 /// One candidate error event produced by a parallel unit, in canonical
 /// (segment, cell) order.
-struct Candidate {
-    t_s: f64,
-    word: u64,
-    lane: u8,
+pub(crate) struct Candidate {
+    pub(crate) t_s: f64,
+    pub(crate) word: u64,
+    pub(crate) lane: u8,
     /// A spatially-correlated companion bit accompanied the flip: the word
     /// is uncorrectable immediately.
-    companion: bool,
+    pub(crate) companion: bool,
 }
 
 /// Output of one rank's auxiliary unit (disturbance + OS + burst channels).
-struct AuxOutcome {
+pub(crate) struct AuxOutcome {
     disturb: Vec<Candidate>,
     /// UE candidate times from OS pair collisions, OS companions and
     /// disturbance bursts.
     ue_times: Vec<f64>,
 }
 
-enum UnitOutcome {
+pub(crate) enum UnitOutcome {
     Pop(Vec<Candidate>),
     Aux(AuxOutcome),
+}
+
+/// One realized OS-resident weak cell (already past the data gate), frozen
+/// by `PreparedRun`: its retention quantile and its word within the rank's
+/// kernel pages.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OsCell {
+    pub(crate) q: f64,
+    pub(crate) word: u64,
+}
+
+/// Where an aux unit's OS-resident cells come from: walked fresh from the
+/// population stream (direct path) or replayed from a frozen realization.
+pub(crate) enum OsSource<'p> {
+    /// Walk the population stream up to this operating point's cap.
+    Walk,
+    /// Replay a frozen walk (realized at the prepared envelope's cap); the
+    /// prefix below the current cap is byte-identical to a fresh walk.
+    Prepared(&'p [OsCell]),
 }
 
 impl<'d> ErrorSim<'d> {
@@ -164,7 +201,7 @@ impl<'d> ErrorSim<'d> {
 
         // One work unit per (rank, segment chunk) plus one auxiliary unit
         // per rank; merged strictly in this order below.
-        let chunks_per_rank = (SEGMENTS / SEGMENTS_PER_CHUNK) as usize;
+        let chunks_per_rank = RunContext::chunks_per_rank();
         let units: Vec<(usize, usize)> = (0..ranks)
             .flat_map(|r| (0..=chunks_per_rank).map(move |c| (r, c)))
             .collect();
@@ -174,64 +211,83 @@ impl<'d> ErrorSim<'d> {
                 if chunk < chunks_per_rank {
                     UnitOutcome::Pop(ctx.population_chunk(rank, chunk as u64))
                 } else {
-                    UnitOutcome::Aux(ctx.aux_channels(rank))
+                    UnitOutcome::Aux(ctx.aux_channels(rank, OsSource::Walk))
                 }
             })
             .collect();
+        finalize_outcomes(outcomes, ranks, chunks_per_rank, profile.footprint_words, duration_s)
+    }
 
-        // Serial, order-stable merge: per rank, population candidates in
-        // (segment, cell) order, then the disturbance channel, share one
-        // pair-collision map; a second corrupted bit in an already
-        // manifested word upgrades to a UE.
-        let mut ce_events: Vec<CeEvent> = Vec::new();
-        let mut earliest_ue: Option<UeEvent> = None;
-        let mut cursor = 0usize;
-        for rank_index in 0..ranks {
-            let rank = RankId::from_index(rank_index);
-            let mut manifested: FxHashMap<u64, f64> = FxHashMap::default();
-            for _ in 0..chunks_per_rank {
-                let UnitOutcome::Pop(candidates) = &outcomes[cursor] else {
-                    unreachable!("population unit expected");
-                };
-                cursor += 1;
-                merge_candidates(
-                    candidates,
-                    rank,
-                    &mut ce_events,
-                    &mut manifested,
-                    &mut earliest_ue,
-                );
-            }
-            let UnitOutcome::Aux(aux) = &outcomes[cursor] else {
-                unreachable!("aux unit expected");
+    /// Freezes the weak-cell population shared by `ops` into a
+    /// [`crate::PreparedRun`], so that every TREFP set-point and every
+    /// repeat in the group replays the same realization instead of
+    /// re-sampling it (see the module docs, *Campaign-level caching*).
+    ///
+    /// All `ops` must share one (temperature, voltage) pair — those are the
+    /// population key — and the prepared envelope covers the longest
+    /// refresh period among them.
+    ///
+    /// # Panics
+    /// Panics if `ops` is empty, mixes temperatures or voltages, or fails
+    /// validation, or if `profile` fails validation.
+    pub fn prepare(
+        &self,
+        profile: &DramUsageProfile,
+        ops: &[OperatingPoint],
+    ) -> crate::PreparedRun<'d> {
+        crate::PreparedRun::realize(self.device, profile, ops)
+    }
+}
+
+/// Serial, order-stable merge shared by [`ErrorSim::run`] and the
+/// [`crate::PreparedRun`] replay: per rank, `pop_units_per_rank` population
+/// units in canonical (segment, cell) order, then the rank's aux unit,
+/// share one pair-collision map; a second corrupted bit in an already
+/// manifested word upgrades to a UE.
+pub(crate) fn finalize_outcomes(
+    outcomes: Vec<UnitOutcome>,
+    ranks: usize,
+    pop_units_per_rank: usize,
+    footprint_words: u64,
+    duration_s: f64,
+) -> RunResult {
+    let mut ce_events: Vec<CeEvent> = Vec::new();
+    let mut earliest_ue: Option<UeEvent> = None;
+    let mut cursor = 0usize;
+    for rank_index in 0..ranks {
+        let rank = RankId::from_index(rank_index);
+        let mut manifested: FxHashMap<u64, f64> = FxHashMap::default();
+        for _ in 0..pop_units_per_rank {
+            let UnitOutcome::Pop(candidates) = &outcomes[cursor] else {
+                unreachable!("population unit expected");
             };
             cursor += 1;
-            merge_candidates(&aux.disturb, rank, &mut ce_events, &mut manifested, &mut earliest_ue);
-            for &t in &aux.ue_times {
-                if earliest_ue.is_none_or(|ue| t < ue.t_s) {
-                    earliest_ue = Some(UeEvent { t_s: t, rank });
-                }
+            merge_candidates(candidates, rank, &mut ce_events, &mut manifested, &mut earliest_ue);
+        }
+        let UnitOutcome::Aux(aux) = &outcomes[cursor] else {
+            unreachable!("aux unit expected");
+        };
+        cursor += 1;
+        merge_candidates(&aux.disturb, rank, &mut ce_events, &mut manifested, &mut earliest_ue);
+        for &t in &aux.ue_times {
+            if earliest_ue.is_none_or(|ue| t < ue.t_s) {
+                earliest_ue = Some(UeEvent { t_s: t, rank });
             }
         }
-
-        // A UE crashes the system: drop CEs that would have been discovered
-        // after the crash.
-        if let Some(ue) = earliest_ue {
-            ce_events.retain(|e| e.t_s <= ue.t_s);
-        }
-        // Discovery times are continuous, so ties are measure-zero; the
-        // unstable sort is deterministic regardless (same input order in,
-        // same output order out). Times are non-negative, so the IEEE bit
-        // pattern is an order-preserving integer key.
-        ce_events.sort_unstable_by_key(|e| e.t_s.to_bits());
-
-        RunResult {
-            ce_events,
-            ue: earliest_ue,
-            footprint_words: profile.footprint_words,
-            duration_s,
-        }
     }
+
+    // A UE crashes the system: drop CEs that would have been discovered
+    // after the crash.
+    if let Some(ue) = earliest_ue {
+        ce_events.retain(|e| e.t_s <= ue.t_s);
+    }
+    // Discovery times are continuous, so ties are measure-zero; the
+    // unstable sort is deterministic regardless (same input order in,
+    // same output order out). Times are non-negative, so the IEEE bit
+    // pattern is an order-preserving integer key.
+    ce_events.sort_unstable_by_key(|e| e.t_s.to_bits());
+
+    RunResult { ce_events, ue: earliest_ue, footprint_words, duration_s }
 }
 
 /// Applies a unit's candidates to the rank's merge state in order.
@@ -258,8 +314,9 @@ fn merge_candidates(
     }
 }
 
-/// Immutable per-run context shared by all parallel units.
-struct RunContext<'a> {
+/// Immutable per-run context shared by all parallel units (and, with run
+/// randomness left untouched, by `PreparedRun` realization).
+pub(crate) struct RunContext<'a> {
     device: &'a DramDevice,
     profile: &'a DramUsageProfile,
     op: OperatingPoint,
@@ -290,8 +347,37 @@ struct RunContext<'a> {
 /// Number of quantile points in `ReuseQuantiles`.
 const REUSE_BUCKETS: usize = 16;
 
+/// The refresh-period-independent attributes of one realized weak cell that
+/// passed the population-side gates, drawn from its private attribute
+/// stream (see `RunContext::sample_cell_attrs`).
+pub(crate) struct CellAttrs {
+    /// Reuse bucket (`REUSE_BUCKETS` = never reused).
+    pub(crate) bucket: usize,
+    /// 64-bit word index within the footprint, on the cell's rank.
+    pub(crate) word: u64,
+    /// Bit lane within the 72-bit ECC word.
+    pub(crate) lane: u8,
+}
+
+/// A gated candidate cell handed to `RunContext::manifest_cell`: the
+/// attributes plus the word's read rate and the cell's run-stream identity.
+pub(crate) struct GatedCell {
+    pub(crate) bucket: usize,
+    pub(crate) word: u64,
+    pub(crate) lane: u8,
+    /// Word-level read rate of the cell's region (reads + patrol scrub).
+    pub(crate) read_rate: f64,
+    /// `(segment << 24) | index` — keys the cell's derived run stream.
+    pub(crate) cell_key: u64,
+}
+
 impl<'a> RunContext<'a> {
-    fn new(
+    /// Number of (rank, segment-chunk) population work units per rank.
+    pub(crate) fn chunks_per_rank() -> usize {
+        (SEGMENTS / SEGMENTS_PER_CHUNK) as usize
+    }
+
+    pub(crate) fn new(
         device: &'a DramDevice,
         profile: &'a DramUsageProfile,
         op: OperatingPoint,
@@ -350,8 +436,44 @@ impl<'a> RunContext<'a> {
     }
 
     /// Run seed of a rank: full operating point + run seed.
-    fn rank_run_seed(&self, rank_index: usize) -> u64 {
+    pub(crate) fn rank_run_seed(&self, rank_index: usize) -> u64 {
         mix_seed(self.device.seed(), rank_index as u64, op_bits(self.op), self.run_seed)
+    }
+
+    /// Expected Poisson intensity of a rank's benchmark-footprint weak-cell
+    /// population at this context's environment.
+    pub(crate) fn expected_weak_cells(&self, rank_index: usize) -> f64 {
+        self.device.expected_weak_cells(
+            rank_index,
+            self.profile.footprint_words,
+            self.op.temp_c,
+            self.op.vdd_v,
+        )
+    }
+
+    /// Companion-bit probability per manifesting cell per unit of bucket
+    /// weight (see [`RunContext::new`]); a population-side constant.
+    pub(crate) fn p_companion_unit(&self, rank_index: usize) -> f64 {
+        self.device.physics().weak_density(self.op.temp_c, self.op.vdd_v)
+            * self.device.variation().factor(rank_index)
+            * self.companion_scale
+    }
+
+    /// The implicit-refresh gate at this operating point: the cell leaks
+    /// only if its retention (shortened by data coupling) is below the
+    /// effective refresh period of its reuse bucket.
+    #[inline]
+    pub(crate) fn passes_refresh_gate(&self, retention: f64, bucket: usize) -> bool {
+        retention * self.coupling < self.t_eff_by_bucket[bucket]
+    }
+
+    /// The population-side gates re-applied to an already-realized cell at
+    /// this operating point: the thinning cap and the implicit-refresh
+    /// gate. (The data-dependence gate is op-independent and already
+    /// applied at realization time.) Same comparisons as the direct path.
+    #[inline]
+    pub(crate) fn cell_is_live(&self, q: f64, retention: f64, bucket: usize) -> bool {
+        q < self.q_cap && self.passes_refresh_gate(retention, bucket)
     }
 
     /// The word-level read rate seen by a word's region (reads plus patrol
@@ -363,32 +485,22 @@ impl<'a> RunContext<'a> {
         self.read_rate_by_region[region.min(63)]
     }
 
-    /// Realizes one chunk of a rank's weak-cell population: all cells whose
-    /// retention quantile falls inside the chunk's segments and below the
-    /// thinning cap.
-    fn population_chunk(&self, rank_index: usize, chunk: u64) -> Vec<Candidate> {
-        let physics = self.device.physics();
+    /// Walks one chunk of a rank's realized weak-cell population below the
+    /// thinning cap, invoking `visit(q, cell_key, retention, attr_rng)` for
+    /// each candidate cell in canonical (segment, cell) order, with the
+    /// cell's private attribute stream freshly seeded. This loop *is* the
+    /// population side of the seeding contract, shared by the direct path
+    /// and `PreparedRun` realization.
+    fn for_each_realized_cell(
+        &self,
+        rank_index: usize,
+        chunk: u64,
+        expected: f64,
+        mut visit: impl FnMut(f64, u64, f64, &mut SimRng),
+    ) {
         let law = self.device.retention_law();
-        let expected = self.device.expected_weak_cells(
-            rank_index,
-            self.profile.footprint_words,
-            self.op.temp_c,
-            self.op.vdd_v,
-        );
-        if expected <= 0.0 || self.q_cap <= 0.0 {
-            return Vec::new();
-        }
         let pop_seed = self.pop_seed(rank_index);
-        let run_seed = self.rank_run_seed(rank_index);
         let mean_per_segment = expected.min(5.0e7) / SEGMENTS as f64;
-        let p_companion_unit = physics.weak_density(self.op.temp_c, self.op.vdd_v)
-            * self.device.variation().factor(rank_index)
-            * self.companion_scale;
-
-        // Roughly half the realized cells survive the data-dependence gate;
-        // pre-size for the common case to avoid growth reallocations.
-        let mut out =
-            Vec::with_capacity((mean_per_segment * SEGMENTS_PER_CHUNK as f64 * 0.6) as usize + 4);
         let seg_lo = chunk * SEGMENTS_PER_CHUNK;
         for seg in seg_lo..seg_lo + SEGMENTS_PER_CHUNK {
             // Analytic thinning: the whole segment lies beyond the cap —
@@ -410,38 +522,66 @@ impl<'a> RunContext<'a> {
                 }
                 let cell_key = (seg << 24) | j.min((1 << 24) - 1);
                 let retention = law.retention_at_fraction(q);
-                if let Some(cand) = self.try_manifest_cell(
-                    rank_index,
-                    retention,
-                    &mut SimRng::seed_from_u64(mix_seed(pop_seed, cell_key, CELL_ATTR_SALT, 1)),
-                    run_seed,
+                let mut attr_rng =
+                    SimRng::seed_from_u64(mix_seed(pop_seed, cell_key, CELL_ATTR_SALT, 1));
+                visit(q, cell_key, retention, &mut attr_rng);
+            }
+        }
+    }
+
+    /// Realizes one chunk of a rank's weak-cell population: all cells whose
+    /// retention quantile falls inside the chunk's segments and below the
+    /// thinning cap.
+    fn population_chunk(&self, rank_index: usize, chunk: u64) -> Vec<Candidate> {
+        let expected = self.expected_weak_cells(rank_index);
+        if expected <= 0.0 || self.q_cap <= 0.0 {
+            return Vec::new();
+        }
+        let run_seed = self.rank_run_seed(rank_index);
+        let p_companion_unit = self.p_companion_unit(rank_index);
+
+        // Roughly half the realized cells survive the data-dependence gate;
+        // pre-size for the common case to avoid growth reallocations.
+        let mut out = Vec::with_capacity(
+            (expected.min(5.0e7) / SEGMENTS as f64 * SEGMENTS_PER_CHUNK as f64 * 0.6) as usize + 4,
+        );
+        self.for_each_realized_cell(rank_index, chunk, expected, |_q, cell_key, retention, rng| {
+            if let Some(attrs) = self.sample_cell_attrs(rank_index, retention, rng) {
+                let cell = GatedCell {
+                    bucket: attrs.bucket,
+                    word: attrs.word,
+                    lane: attrs.lane,
+                    read_rate: self.word_read_rate(attrs.word),
                     cell_key,
-                    p_companion_unit,
-                ) {
+                };
+                if let Some(cand) = self.manifest_cell(&cell, run_seed, p_companion_unit) {
                     out.push(cand);
                 }
             }
-        }
+        });
         out
     }
 
-    /// Plays out one candidate weak cell: attribute draws, the implicit
-    /// refresh / data-dependence gates, then discovery and the companion
-    /// check. Returns an event if the cell manifests within the run.
+    /// Draws one candidate cell's attributes from its (private) population
+    /// stream and applies the population-side gates at this context's
+    /// operating point. Returns `None` when the cell cannot leak here:
+    /// either its stored data holds it safe, or implicit refresh outpaces
+    /// its retention.
     ///
-    /// Gates are ordered cheapest-rejection-first: the data-dependence coin
-    /// flips and the reuse bucket come before the word/lane draws and the
-    /// run-stream seeding, so the ~half of cells held safe by their stored
-    /// data pay for two attribute draws and nothing else.
-    fn try_manifest_cell(
+    /// Gates are ordered cheapest-rejection-first, and the draw order is
+    /// part of the seeding contract: `is_true`, `u_bit` (data gate),
+    /// `u_never`, `u_reuse` (refresh gate), then — only for cells passing
+    /// both — word and lane. Because the stream is private to the cell,
+    /// stopping early never perturbs any other cell, which is what lets
+    /// `PreparedRun` realization (whose envelope context uses the group's
+    /// longest refresh period) share this function verbatim with the
+    /// direct path.
+    pub(crate) fn sample_cell_attrs(
         &self,
         rank_index: usize,
         retention: f64,
         attr_rng: &mut SimRng,
-        run_seed: u64,
-        cell_key: u64,
-        p_companion_unit: f64,
-    ) -> Option<Candidate> {
+    ) -> Option<CellAttrs> {
         let physics = self.device.physics();
         let profile = self.profile;
 
@@ -476,35 +616,88 @@ impl<'a> RunContext<'a> {
             ((u_reuse.clamp(0.0, 0.999_999) * REUSE_BUCKETS as f64) as usize)
                 .min(REUSE_BUCKETS - 1)
         };
-        if retention * self.coupling >= self.t_eff_by_bucket[bucket] {
+        if !self.passes_refresh_gate(retention, bucket) {
             return None;
         }
 
         let word =
             sample_word_on_rank(profile.footprint_words, rank_index, self.ranks, attr_rng);
         let lane = attr_rng.gen_range(0..72u8);
-        let read_rate_word = self.word_read_rate(word);
-        let mut run_rng = SimRng::seed_from_u64(mix_seed(run_seed, cell_key, CELL_RUN_SALT, 2));
-        let t = discovery_time(physics, read_rate_word, self.duration_s, &mut run_rng)?;
-        // Spatially-correlated companion bit: the same gating (threshold,
-        // coupling) applied to a clustered neighbour. Two bad bits in one
-        // word: instant UE.
+        Some(CellAttrs { bucket, word, lane })
+    }
+
+    /// Plays out the run randomness of a gated candidate cell — discovery
+    /// timing and the spatially-correlated companion check — from the
+    /// cell's private run stream. Shared verbatim by the direct path and
+    /// the `PreparedRun` replay so the two stay bit-identical. Two bad
+    /// bits in one word: instant UE.
+    pub(crate) fn manifest_cell(
+        &self,
+        cell: &GatedCell,
+        rank_run_seed: u64,
+        p_companion_unit: f64,
+    ) -> Option<Candidate> {
+        let mut run_rng =
+            SimRng::seed_from_u64(mix_seed(rank_run_seed, cell.cell_key, CELL_RUN_SALT, 2));
+        let t =
+            discovery_time(self.device.physics(), cell.read_rate, self.duration_s, &mut run_rng)?;
         let p_companion =
-            (p_companion_unit * self.companion_fraction_by_bucket[bucket]).clamp(0.0, 1.0);
+            (p_companion_unit * self.companion_fraction_by_bucket[cell.bucket]).clamp(0.0, 1.0);
         let companion = run_rng.gen_bool(p_companion);
-        Some(Candidate { t_s: t, word, lane, companion })
+        Some(Candidate { t_s: t, word: cell.word, lane: cell.lane, companion })
+    }
+
+    /// Realizes one chunk of a rank's population into frozen
+    /// `PreparedCell`s: the `PreparedRun` analogue of `population_chunk`.
+    /// Cells that can never manifest anywhere in the prepared envelope —
+    /// data-gated, or refresh-gated even at the group's longest refresh
+    /// period (`t_eff` grows with TREFP, so failing at the envelope means
+    /// failing at every set-point below it) — are dropped here and never
+    /// revisited by replays.
+    pub(crate) fn prepare_chunk(
+        &self,
+        rank_index: usize,
+        chunk: u64,
+    ) -> Vec<crate::prepared::PreparedCell> {
+        let expected = self.expected_weak_cells(rank_index);
+        if expected <= 0.0 || self.q_cap <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(
+            (expected.min(5.0e7) / SEGMENTS as f64 * SEGMENTS_PER_CHUNK as f64 * 0.3) as usize + 4,
+        );
+        self.for_each_realized_cell(rank_index, chunk, expected, |q, cell_key, retention, rng| {
+            if let Some(attrs) = self.sample_cell_attrs(rank_index, retention, rng) {
+                out.push(crate::prepared::PreparedCell {
+                    q,
+                    retention,
+                    word: attrs.word,
+                    cell_key,
+                    read_rate: self.word_read_rate(attrs.word),
+                    lane: attrs.lane,
+                    bucket: attrs.bucket as u8,
+                });
+            }
+        });
+        out
     }
 
     /// The three rank-level channels that are cheap after thinning:
     /// disturbance flips, the OS-resident region and disturbance bursts.
-    fn aux_channels(&self, rank_index: usize) -> AuxOutcome {
+    ///
+    /// The disturbance and burst channels are pure run randomness and are
+    /// always played out fresh; the OS-resident *population* is either
+    /// walked from its stream (`OsSource::Walk`, the direct path) or
+    /// replayed from a frozen realization (`OsSource::Prepared`). Both
+    /// sources feed the identical run-randomness consumer, so outputs are
+    /// bit-identical.
+    pub(crate) fn aux_channels(&self, rank_index: usize, os: OsSource<'_>) -> AuxOutcome {
         let physics = self.device.physics();
         let law = self.device.retention_law();
         let profile = self.profile;
         let op = self.op;
         let factor = self.device.variation().factor(rank_index);
         let run_seed = self.rank_run_seed(rank_index);
-        let pop_seed = self.pop_seed(rank_index);
         let mut disturb = Vec::new();
         let mut ue_times = Vec::new();
 
@@ -539,52 +732,18 @@ impl<'a> RunContext<'a> {
 
         // OS-resident cold pages: outside the benchmark's footprint and
         // almost never re-read, so they rely purely on auto-refresh. A pair
-        // collision here is a kernel-memory UE — instant crash. The same
-        // quantile-thinning applies: only cells with retention below TREFP
-        // (fraction `q_cap_os`) are realized, as a gap-walked Poisson
-        // process over quantile space.
-        let os_words_rank = physics.os_resident_words / self.ranks as u64;
-        let os_expected =
-            physics.weak_density(op.temp_c, op.vdd_v) * factor * os_words_rank as f64 * 72.0;
+        // collision here is a kernel-memory UE — instant crash.
         let q_cap_os = law.fraction_below(op.trefp_s);
-        if os_expected > 0.0 && q_cap_os > 0.0 {
-            let mut rng_os_pop = SimRng::seed_from_u64(mix_seed(pop_seed, OS_POP_SALT, 0, 4));
-            let mut rng_os_run = SimRng::seed_from_u64(mix_seed(run_seed, OS_RUN_SALT, 0, 5));
-            let mut os_manifested: FxHashMap<u64, f64> = FxHashMap::default();
-            let p_companion_os = (physics.weak_density(op.temp_c, op.vdd_v)
-                * factor
-                * q_cap_os
-                * self.companion_scale)
-                .clamp(0.0, 1.0);
-            let rate = os_expected.min(5.0e7);
-            let mut q = 0.0f64;
-            loop {
-                q += sample_exp(rate, &mut rng_os_pop);
-                if q >= q_cap_os {
-                    break;
-                }
-                // Candidate cell: retention < TREFP by construction; it
-                // leaks iff the stored bit holds it charged.
-                let word = rng_os_pop.gen_range(0..os_words_rank.max(1));
-                let is_true_cell = rng_os_pop.gen_bool(physics.true_cell_fraction);
-                let stored_one = rng_os_pop.gen_bool(0.5); // kernel pages: mixed data
-                if is_true_cell != stored_one {
-                    continue;
-                }
-                if let Some(t) = discovery_time(
-                    physics,
-                    physics.scrub_rate_hz,
-                    self.duration_s,
-                    &mut rng_os_run,
-                ) {
-                    if rng_os_run.gen_bool(p_companion_os) {
-                        ue_times.push(t);
-                        continue;
-                    }
-                    if let Some(first) = os_manifested.insert(word, t) {
-                        ue_times.push(first.max(t));
-                    }
-                }
+        match os {
+            OsSource::Walk => {
+                self.os_run_draws(rank_index, self.os_walk(rank_index), &mut ue_times);
+            }
+            OsSource::Prepared(cells) => {
+                // The frozen walk was realized at the envelope's cap; its
+                // prefix below this op's cap is exactly what a fresh walk
+                // would yield (gaps accumulate monotonically).
+                let prefix = cells.iter().take_while(|c| c.q < q_cap_os).copied();
+                self.os_run_draws(rank_index, prefix, &mut ue_times);
             }
         }
 
@@ -604,6 +763,83 @@ impl<'a> RunContext<'a> {
         }
 
         AuxOutcome { disturb, ue_times }
+    }
+
+    /// Walks the OS-resident population of a rank: a Poisson process over
+    /// retention-quantile space up to `fraction_below(TREFP)`, yielding the
+    /// data-gate-passing cells in increasing-quantile order. Pure
+    /// population randomness (the `OS_POP_SALT` stream) — candidate cells
+    /// have retention below TREFP by construction and leak iff the stored
+    /// bit holds them charged (kernel pages: mixed data).
+    pub(crate) fn os_walk(&self, rank_index: usize) -> impl Iterator<Item = OsCell> + '_ {
+        let physics = self.device.physics();
+        let law = self.device.retention_law();
+        let factor = self.device.variation().factor(rank_index);
+        let os_words_rank = physics.os_resident_words / self.ranks as u64;
+        let os_expected =
+            physics.weak_density(self.op.temp_c, self.op.vdd_v) * factor * os_words_rank as f64 * 72.0;
+        let q_cap_os = law.fraction_below(self.op.trefp_s);
+        let rate = os_expected.min(5.0e7);
+        let mut rng_os_pop =
+            SimRng::seed_from_u64(mix_seed(self.pop_seed(rank_index), OS_POP_SALT, 0, 4));
+        let mut q = 0.0f64;
+        let active = os_expected > 0.0 && q_cap_os > 0.0;
+        let true_cell_fraction = physics.true_cell_fraction;
+        core::iter::from_fn(move || {
+            if !active {
+                return None;
+            }
+            loop {
+                q += sample_exp(rate, &mut rng_os_pop);
+                if q >= q_cap_os {
+                    return None;
+                }
+                let word = rng_os_pop.gen_range(0..os_words_rank.max(1));
+                let is_true_cell = rng_os_pop.gen_bool(true_cell_fraction);
+                let stored_one = rng_os_pop.gen_bool(0.5);
+                if is_true_cell == stored_one {
+                    return Some(OsCell { q, word });
+                }
+            }
+        })
+    }
+
+    /// Plays the run randomness of the OS-resident channel over an
+    /// in-order stream of realized cells: discovery by patrol scrub, the
+    /// companion upgrade, and the pair-collision map. One sequential
+    /// `OS_RUN_SALT` stream per rank, consumed only for cells the walk
+    /// yielded — which is what makes the prepared prefix replay exact.
+    fn os_run_draws(
+        &self,
+        rank_index: usize,
+        cells: impl Iterator<Item = OsCell>,
+        ue_times: &mut Vec<f64>,
+    ) {
+        let physics = self.device.physics();
+        let law = self.device.retention_law();
+        let factor = self.device.variation().factor(rank_index);
+        let q_cap_os = law.fraction_below(self.op.trefp_s);
+        let mut rng_os_run =
+            SimRng::seed_from_u64(mix_seed(self.rank_run_seed(rank_index), OS_RUN_SALT, 0, 5));
+        let mut os_manifested: FxHashMap<u64, f64> = FxHashMap::default();
+        let p_companion_os = (physics.weak_density(self.op.temp_c, self.op.vdd_v)
+            * factor
+            * q_cap_os
+            * self.companion_scale)
+            .clamp(0.0, 1.0);
+        for cell in cells {
+            if let Some(t) =
+                discovery_time(physics, physics.scrub_rate_hz, self.duration_s, &mut rng_os_run)
+            {
+                if rng_os_run.gen_bool(p_companion_os) {
+                    ue_times.push(t);
+                    continue;
+                }
+                if let Some(first) = os_manifested.insert(cell.word, t) {
+                    ue_times.push(first.max(t));
+                }
+            }
+        }
     }
 }
 

@@ -12,7 +12,7 @@ pub enum Scale {
     Full,
 }
 
-/// Deployment-scale extrapolation constants (see DESIGN.md "two-scale
+/// Deployment-scale extrapolation constants (see ARCHITECTURE.md §7 "two-scale
 /// simulation note").
 ///
 /// The paper runs every benchmark with an 8 GB allocation for 2 hours; the

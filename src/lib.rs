@@ -7,12 +7,13 @@
 //! ML models that predict word error rates and crash probabilities per
 //! DIMM/rank — in microseconds instead of 2-hour campaigns.
 //!
-//! This facade crate re-exports the workspace layers:
+//! This facade crate re-exports the workspace layers (`ARCHITECTURE.md` at
+//! the repo root maps them in depth):
 //!
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`core`] | `wade-core` | campaigns, data collection, the error model `M` |
-//! | [`dram`] | `wade-dram` | statistical DRAM device + error physics |
+//! | [`dram`] | `wade-dram` | statistical DRAM device + error physics + `PreparedRun` cache |
 //! | [`ecc`] | `wade-ecc` | SECDED (72,64) codec |
 //! | [`memsys`] | `wade-memsys` | SoC substrate (caches, cores, MCUs) |
 //! | [`trace`] | `wade-trace` | instrumentation (reuse time, data entropy) |
@@ -20,23 +21,47 @@
 //! | [`features`] | `wade-features` | 249-feature schema + Spearman + Table III sets |
 //! | [`ml`] | `wade-ml` | KNN / ε-SVR / random forests / LOWO-CV |
 //!
-//! ## Quickstart
+//! # Quick start
+//!
+//! Collect a reduced characterization campaign, train the error model, and
+//! predict for a workload the model never trained on. This block is
+//! doc-tested (`cargo test --doc`), so it always compiles and runs against
+//! the current API; `examples/quickstart.rs` is the same path with
+//! progress output.
 //!
 //! ```
-//! use wade::core::{Campaign, CampaignConfig, MlKind, SimulatedServer};
+//! use wade::core::{train_error_model, Campaign, CampaignConfig, MlKind, SimulatedServer};
+//! use wade::dram::OperatingPoint;
 //! use wade::features::FeatureSet;
-//! use wade::workloads::{paper_suite, Scale};
+//! use wade::workloads::{paper_suite, Scale, WorkloadId};
 //!
-//! // 1. A server with 72 simulated DRAM chips.
+//! // 1. A server whose 72 simulated DRAM chips are "manufactured" from a
+//! //    seed, and a reduced campaign grid (`paper_full()` is the real one).
 //! let server = SimulatedServer::with_seed(42);
-//! // 2. Collect a (reduced) characterization campaign.
-//! let data = Campaign::new(server, CampaignConfig::quick())
-//!     .collect(&paper_suite(Scale::Test), 7);
-//! // 3. Train the error model and predict.
-//! let model = wade::core::train_error_model(&data, MlKind::Knn, FeatureSet::Set1);
-//! let row = &data.rows[0];
-//! assert!(model.predict_wer_total(&row.features, row.op) >= 0.0);
+//! let suite = &paper_suite(Scale::Test)[..3];
+//! let data = Campaign::new(server, CampaignConfig::quick()).collect(suite, 7);
+//! assert_eq!(data.rows.len(), 3 * 6); // 3 workloads × (4 WER + 2 PUE ops)
+//!
+//! // 2. Train the error model (eq. 1): KNN on input set 1, the paper's
+//! //    most accurate combination.
+//! let model = train_error_model(&data, MlKind::Knn, FeatureSet::Set1);
+//!
+//! // 3. Predict for an unseen workload from its program features alone.
+//! let server = SimulatedServer::with_seed(42);
+//! let unseen = WorkloadId::Srad.instantiate(8, Scale::Test);
+//! let profiled = server.profile_workload(unseen.as_ref(), 99);
+//! let wer = model.predict_wer_total(&profiled.features, OperatingPoint::relaxed(2.283, 60.0));
+//! let pue = model.predict_pue(&profiled.features, OperatingPoint::relaxed(2.283, 70.0));
+//! assert!(wer >= 0.0 && (0.0..=1.0).contains(&pue));
 //! ```
+//!
+//! Campaign collection caches weak-cell populations across refresh-period
+//! set-points and PUE repeats ([`dram::PreparedRun`]); the cached and
+//! direct paths are byte-identical by contract — see `ARCHITECTURE.md` §3
+//! and the normative seeding-contract docs in `wade-dram`'s `sim` module.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use wade_core as core;
 pub use wade_dram as dram;

@@ -1,11 +1,11 @@
-//! Ablations of the design choices called out in DESIGN.md §5.
+//! Ablations of the design choices called out in ARCHITECTURE.md §5.
 
 use wade::dram::{
     DramDevice, DramUsageProfile, ErrorPhysics, ErrorSim, OperatingPoint, ServerGeometry,
 };
 use wade::ml::{metrics, KnnTrainer, Regressor, Trainer};
 
-/// DESIGN.md §5.1 — without the disturbance channel, the access-rate ↔ WER
+/// ARCHITECTURE.md §5.1 — without the disturbance channel, the access-rate ↔ WER
 /// coupling disappears (and with it the paper's headline correlation).
 #[test]
 fn disturbance_ablation_kills_access_rate_coupling() {
@@ -33,7 +33,7 @@ fn disturbance_ablation_kills_access_rate_coupling() {
     );
 }
 
-/// DESIGN.md §5.2 — retention-channel WER estimates are stable across
+/// ARCHITECTURE.md §5.2 — retention-channel WER estimates are stable across
 /// footprint scales: the weak-cell density is per-bit, so the expected WER
 /// is scale-free and the sampled estimate concentrates as footprints grow.
 /// (The disturbance channel is activation-driven — absolute flip counts —
@@ -63,7 +63,7 @@ fn weak_cell_sampling_is_scale_stable() {
     );
 }
 
-/// DESIGN.md §5.3 — regressing WER in log space is essential: the target
+/// ARCHITECTURE.md §5.3 — regressing WER in log space is essential: the target
 /// spans decades, and linear-space KNN is dominated by the largest samples.
 #[test]
 fn log_space_targets_beat_linear_space() {
@@ -98,7 +98,7 @@ fn log_space_targets_beat_linear_space() {
     );
 }
 
-/// DESIGN.md §5.4 — the KNN k choice: k=1 is noise-brittle, huge k blurs
+/// ARCHITECTURE.md §5.4 — the KNN k choice: k=1 is noise-brittle, huge k blurs
 /// toward the global mean; the paper-scale sweet spot lies between.
 #[test]
 fn knn_k_sweep_has_an_interior_optimum() {

@@ -1,0 +1,59 @@
+//! The determinism contract of the `PreparedRun` campaign cache
+//! (ARCHITECTURE.md §3): replaying a frozen weak-cell population must be
+//! **byte-identical** to re-realizing it per run, at every operating point
+//! in the prepared envelope, for every seed, on any rayon pool width.
+
+use wade::core::{Campaign, CampaignConfig, SimulatedServer};
+use wade::dram::OperatingPoint;
+use wade::workloads::{Scale, Workload, WorkloadId};
+
+fn suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        WorkloadId::Backprop.instantiate(1, Scale::Test),
+        WorkloadId::Memcached.instantiate(8, Scale::Test),
+    ]
+}
+
+/// One campaign row through both paths: `Campaign::characterize` (the old
+/// direct path, one `ErrorSim::run` per repeat) versus
+/// `Campaign::prepare` + `characterize_prepared` with the same seed.
+#[test]
+fn one_row_direct_and_replayed_is_identical() {
+    let campaign = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+    let wl = WorkloadId::Backprop.instantiate(1, Scale::Test);
+    let profiled = campaign.profile(wl.as_ref(), 2);
+    let ops = [OperatingPoint::relaxed(1.450, 70.0), OperatingPoint::relaxed(2.283, 70.0)];
+    let prepared = campaign.prepare(&profiled, &ops);
+    for op in ops {
+        let direct = campaign.characterize(&profiled, op, 10, 99);
+        let replayed = campaign.characterize_prepared(&prepared, op, 10, 99);
+        assert_eq!(direct, replayed, "row diverged at {op}");
+    }
+}
+
+/// Whole-campaign equivalence: `collect` (population-cached) against
+/// `collect_direct` (the reference path) — identical JSON, byte for byte.
+#[test]
+fn collected_campaign_matches_the_direct_reference() {
+    let cached =
+        Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick()).collect(&suite(), 3);
+    let direct = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+        .collect_direct(&suite(), 3);
+    assert_eq!(cached.to_json().unwrap(), direct.to_json().unwrap());
+}
+
+/// The prepared path must stay order-stable under parallelism: one
+/// campaign collected on a 1-thread and an 8-thread pool, byte-identical.
+#[test]
+fn prepared_collection_is_identical_across_thread_counts() {
+    let collect_with = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        pool.install(|| {
+            Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+                .collect(&suite(), 3)
+        })
+    };
+    let serial = collect_with(1);
+    let parallel = collect_with(8);
+    assert_eq!(serial.to_json().unwrap(), parallel.to_json().unwrap());
+}

@@ -1,5 +1,5 @@
-//! Shape assertions against the paper's headline observations (DESIGN.md
-//! §6), on a reduced grid so they run in CI time.
+//! Shape assertions against the paper's headline observations
+//! (ARCHITECTURE.md §6), on a reduced grid so they run in CI time.
 
 use wade::core::{Campaign, CampaignConfig, SimulatedServer};
 use wade::dram::{DramUsageProfile, ErrorSim, OperatingPoint};
