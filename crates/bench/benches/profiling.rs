@@ -1,0 +1,69 @@
+//! Profiling front-end benchmarks: the batched sink path versus the
+//! per-access reference, and the cached suite-profiling cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use wade_core::{Campaign, CampaignConfig, ProfileCache, SimulatedServer};
+use wade_memsys::Soc;
+use wade_trace::{FanoutSink, Tracer};
+use wade_workloads::{full_suite, Scale, WorkloadId};
+
+/// The tracer + SoC pipeline every profiling run feeds.
+fn fanout() -> FanoutSink<Tracer, Soc> {
+    FanoutSink::new(Tracer::new(), Soc::new(SimulatedServer::profiling_soc_config()))
+}
+
+/// Per-access vs staged slice delivery into the full profiling pipeline,
+/// per kernel family (`run` = one virtual call per access, `run_buffered` =
+/// one per staged batch).
+fn bench_batched_sinks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling_sinks");
+    for id in [WorkloadId::Backprop, WorkloadId::Nw, WorkloadId::Memcached, WorkloadId::Bfs] {
+        let wl = id.instantiate(1, Scale::Test);
+        group.bench_function(format!("{id}/per_access"), |b| {
+            b.iter(|| {
+                let mut fan = fanout();
+                wl.run(&mut fan, 3);
+                let (tracer, soc) = fan.into_inner();
+                black_box((tracer.report(), soc.report()))
+            })
+        });
+        group.bench_function(format!("{id}/batched"), |b| {
+            b.iter(|| {
+                let mut fan = fanout();
+                wl.run_buffered(&mut fan, 3);
+                let (tracer, soc) = fan.into_inner();
+                black_box((tracer.report(), soc.report()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Suite profiling through the campaign front-end: cold (fresh cache per
+/// iteration, batched + parallel) and warm (all cache hits — the cost every
+/// repeated campaign or figure binary pays).
+fn bench_suite_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling_suite");
+    let suite = full_suite(Scale::Test);
+    let campaign = |cache: Arc<ProfileCache>| {
+        Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+            .with_profile_cache(cache)
+    };
+    group.bench_function("full_suite_cold_cache", |b| {
+        b.iter(|| {
+            black_box(
+                campaign(Arc::new(ProfileCache::new())).profile_suite(&suite, 1),
+            )
+        })
+    });
+    let warm = Arc::new(ProfileCache::new());
+    campaign(warm.clone()).profile_suite(&suite, 1);
+    group.bench_function("full_suite_warm_cache", |b| {
+        b.iter(|| black_box(campaign(warm.clone()).profile_suite(&suite, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_sinks, bench_suite_profiling);
+criterion_main!(benches);

@@ -23,10 +23,11 @@
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Poisson};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
-use wade_core::{Campaign, CampaignConfig, SimulatedServer};
+use wade_core::{Campaign, CampaignConfig, ProfileCache, SimulatedServer};
 use wade_dram::{DramDevice, DramUsageProfile, ErrorSim, OperatingPoint};
-use wade_workloads::{paper_suite, Scale};
+use wade_workloads::{full_suite, paper_suite, Scale};
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".into());
@@ -126,13 +127,78 @@ fn main() {
         direct_ms / prepared_ms.max(1e-9),
     ));
 
+    // The profiling front-end: the whole suite through the serial
+    // per-access reference — a reconstruction of the pre-overhaul tracer
+    // (std SipHash reuse/entropy maps, insert-then-insert first touch) fed
+    // one virtual call per access next to the real SoC model — versus the
+    // overhauled path: FxHash trackers + staged slice delivery + the shared
+    // rayon pool + the profile cache. `cold` is a first campaign's cost
+    // (cache misses, batched+parallel); `warm` is every later
+    // campaign/figure-binary in the process (all hits, the number
+    // `repro_all` pays per extra figure). Byte-identity of the current
+    // batched/cached paths against the current per-access path is asserted
+    // (untimed).
+    eprintln!("[bench] workload profiling: per-access serial vs batched+parallel+cached …");
+    let prof_suite = full_suite(Scale::Test);
+    let prof_server = SimulatedServer::with_seed(5);
+    let prof_seed = 1u64;
+    let reference_ms = median_ms(ref_samples, || {
+        for w in &prof_suite {
+            let mut fan = wade_trace::FanoutSink::new(
+                ReferenceTracer::default(),
+                wade_memsys::Soc::new(SimulatedServer::profiling_soc_config()),
+            );
+            w.run(&mut fan, prof_seed);
+            let (tracer, soc) = fan.into_inner();
+            std::hint::black_box((tracer.summary(), soc.report()));
+        }
+    });
+    let batched_serial_ms = median_ms(cur_samples, || {
+        for w in &prof_suite {
+            prof_server.profile_workload(w.as_ref(), prof_seed);
+        }
+    });
+    let prof_campaign = |cache: Arc<ProfileCache>| {
+        Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+            .with_profile_cache(cache)
+    };
+    let cold_ms = median_ms(cur_samples, || {
+        // A fresh cache per sample: this is the first-campaign cost.
+        prof_campaign(Arc::new(ProfileCache::new())).profile_suite(&prof_suite, prof_seed);
+    });
+    let warm_cache = Arc::new(ProfileCache::new());
+    prof_campaign(warm_cache.clone()).profile_suite(&prof_suite, prof_seed);
+    let warm_ms = median_ms(cur_samples, || {
+        prof_campaign(warm_cache.clone()).profile_suite(&prof_suite, prof_seed);
+    });
+    let prof_identical = {
+        let warm = prof_campaign(warm_cache.clone()).profile_suite(&prof_suite, prof_seed);
+        prof_suite
+            .iter()
+            .zip(warm.iter())
+            .all(|(w, p)| **p == prof_server.profile_workload_unbatched(w.as_ref(), prof_seed))
+    };
+    sections.push(format!(
+        "    \"workload_profiling\": {{\n      \"workloads\": {},\n      \"reference_per_access_serial_ms\": {reference_ms:.3},\n      \"batched_serial_ms\": {batched_serial_ms:.3},\n      \"batched_parallel_cold_cache_ms\": {cold_ms:.3},\n      \"batched_parallel_warm_cache_ms\": {warm_ms:.3},\n      \"speedup_batched_vs_reference\": {:.2},\n      \"speedup_cold_vs_reference\": {:.2},\n      \"speedup_cached_vs_reference\": {:.2},\n      \"byte_identical\": {prof_identical}\n    }}",
+        prof_suite.len(),
+        reference_ms / batched_serial_ms.max(1e-9),
+        reference_ms / cold_ms.max(1e-9),
+        reference_ms / warm_ms.max(1e-9),
+    ));
+
     eprintln!("[bench] campaign quick grid …");
     let suite = paper_suite(Scale::Test);
     let collect = |threads: usize| {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
         median_ms(ref_samples, || {
             pool.install(|| {
+                // A fresh isolated cache per sample: this section tracks the
+                // grid's *parallel scaling*, so every sample must pay the
+                // same cold profiling cost — the process-global cache would
+                // hand later samples warm profiles and report cache warmth
+                // as thread speedup.
                 Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+                    .with_profile_cache(Arc::new(ProfileCache::new()))
                     .collect(&suite, 1)
             });
         })
@@ -152,6 +218,90 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
     println!("{json}");
     eprintln!("[bench] wrote {out_path}");
+}
+
+/// Pre-overhaul profiling tracer, reconstructed for an honest "before"
+/// number (the original predates the batched front-end): per-access virtual
+/// dispatch only, the std SipHash hasher behind the word reuse map and the
+/// 32-bit write-value counts, and the first-touch double insert. Work per
+/// access mirrors the seed `Tracer` exactly; the summary forces the same
+/// end-of-run folds. (The current `wade_trace::Tracer` is the behavioural
+/// source of truth; this exists only as a baseline.)
+#[derive(Default)]
+struct ReferenceTracer {
+    last_touch: HashMap<u64, (u64, bool)>,
+    counts: HashMap<u32, u64>,
+    regions: wade_trace::RegionCounter,
+    histogram: wade_trace::ReuseHistogram,
+    instructions: u64,
+    mem_accesses: u64,
+    reads: u64,
+    writes: u64,
+    one_bits: u64,
+    samples: u64,
+    sum_distance: f64,
+    reuse_count: u64,
+    reused_words: u64,
+}
+
+impl ReferenceTracer {
+    fn summary(&self) -> (u64, u64, f64, f64, f64) {
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable();
+        let n = self.samples.max(1) as f64;
+        let entropy: f64 = counts
+            .iter()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        (
+            self.last_touch.len() as u64,
+            self.reads,
+            self.sum_distance / self.reuse_count.max(1) as f64,
+            entropy,
+            self.regions.spatial_entropy(),
+        )
+    }
+}
+
+impl wade_trace::AccessSink for ReferenceTracer {
+    fn on_access(&mut self, access: wade_trace::MemAccess) {
+        self.instructions += 1;
+        self.mem_accesses += 1;
+        if access.is_write() {
+            self.writes += 1;
+            let value = access.value;
+            *self.counts.entry(value as u32).or_insert(0) += 1;
+            *self.counts.entry((value >> 32) as u32).or_insert(0) += 1;
+            self.samples += 2;
+            self.one_bits += value.count_ones() as u64;
+        } else {
+            self.reads += 1;
+        }
+        // The seed ReuseTracker::touch: insert, then a second insert on
+        // first touch.
+        match self.last_touch.insert(access.word_index(), (self.instructions, true)) {
+            Some((prev, was_reused)) => {
+                if !was_reused {
+                    self.reused_words += 1;
+                }
+                let d = self.instructions.saturating_sub(prev);
+                self.histogram.record(d);
+                self.sum_distance += d as f64;
+                self.reuse_count += 1;
+            }
+            None => {
+                self.last_touch.insert(access.word_index(), (self.instructions, false));
+            }
+        }
+        self.regions.record(access.addr, access.is_write());
+    }
+
+    fn on_instructions(&mut self, count: u64) {
+        self.instructions += count;
+    }
 }
 
 fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {

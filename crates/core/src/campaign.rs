@@ -24,12 +24,14 @@
 //! implementation kept for verification), so collected campaigns are
 //! byte-identical whichever path produced them, at any thread count.
 
+use crate::profile_cache::ProfileCache;
 use crate::server::{ProfiledWorkload, SimulatedServer};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use wade_dram::{ErrorSim, OperatingPoint, PreparedRun, RunResult, RANK_COUNT};
 use wade_features::FeatureVector;
-use wade_workloads::Workload;
+use wade_workloads::{BoxedWorkload, Workload};
 
 /// Campaign parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -172,12 +174,36 @@ impl CampaignData {
 pub struct Campaign {
     server: SimulatedServer,
     config: CampaignConfig,
+    /// Memo table for the profiling phase; `None` disables caching
+    /// (the reference configuration for byte-identity tests).
+    profile_cache: Option<Arc<ProfileCache>>,
 }
 
 impl Campaign {
-    /// Binds a campaign configuration to a server.
+    /// Binds a campaign configuration to a server. Profiling is memoized
+    /// through the process-wide [`ProfileCache::global`]; see
+    /// [`Campaign::without_profile_cache`] / [`Campaign::with_profile_cache`]
+    /// to opt out or isolate.
     pub fn new(server: SimulatedServer, config: CampaignConfig) -> Self {
-        Self { server, config }
+        Self { server, config, profile_cache: Some(ProfileCache::global()) }
+    }
+
+    /// Replaces the profile cache with `cache` (e.g. an isolated one for a
+    /// benchmark measuring cold-cache cost).
+    #[must_use]
+    pub fn with_profile_cache(mut self, cache: Arc<ProfileCache>) -> Self {
+        self.profile_cache = Some(cache);
+        self
+    }
+
+    /// Disables profile caching: every [`Campaign::profile`] call re-executes
+    /// the kernel. Output is byte-identical either way (profiling is
+    /// deterministic; asserted by tests) — this is the reference
+    /// configuration those tests compare against.
+    #[must_use]
+    pub fn without_profile_cache(mut self) -> Self {
+        self.profile_cache = None;
+        self
     }
 
     /// The server under test.
@@ -187,7 +213,28 @@ impl Campaign {
 
     /// Profiles one workload (Fig. 3's profiling phase).
     pub fn profile(&self, workload: &dyn Workload, seed: u64) -> ProfiledWorkload {
-        self.server.profile_workload(workload, seed)
+        (*self.profile_shared(workload, seed)).clone()
+    }
+
+    /// [`Campaign::profile`] returning the shared frozen profile: a cache
+    /// hit hands back the same allocation instead of cloning the reports.
+    pub fn profile_shared(&self, workload: &dyn Workload, seed: u64) -> Arc<ProfiledWorkload> {
+        match &self.profile_cache {
+            Some(cache) => cache.profile(&self.server, workload, seed),
+            None => Arc::new(self.server.profile_workload(workload, seed)),
+        }
+    }
+
+    /// Profiles a whole suite on the shared rayon pool (profiling runs are
+    /// independently seeded per workload, so they parallelize freely), in
+    /// suite order. Order-stable and byte-identical at any thread count and
+    /// with any cache state.
+    pub fn profile_suite(
+        &self,
+        suite: &[BoxedWorkload],
+        seed: u64,
+    ) -> Vec<Arc<ProfiledWorkload>> {
+        suite.par_iter().map(|w| self.profile_shared(w.as_ref(), seed)).collect()
     }
 
     /// Characterizes one profiled workload at one op for `repeats` runs via
@@ -226,7 +273,9 @@ impl Campaign {
 
     /// [`Campaign::characterize`] against a frozen population: same seeds,
     /// same fan-out, bit-identical outcomes — only the realization work is
-    /// skipped.
+    /// skipped. The population-side gates are applied **once** per
+    /// set-point ([`wade_dram::LiveCellIndex`]) and shared by every repeat,
+    /// so replays stop re-gating the whole frozen arena per run.
     pub fn characterize_prepared(
         &self,
         prepared: &PreparedRun<'_>,
@@ -234,8 +283,9 @@ impl Campaign {
         repeats: u32,
         seed: u64,
     ) -> Vec<CharacterizationOutcome> {
+        let index = prepared.live_index(op);
         self.repeat_runs(repeats, |r| {
-            prepared.run(op, self.config.run_duration_s, repeat_seed(seed, r))
+            prepared.run_indexed(&index, self.config.run_duration_s, repeat_seed(seed, r))
         })
     }
 
@@ -263,7 +313,7 @@ impl Campaign {
     /// sequential loop (ops sorted by temperature, then suite order), and
     /// the collected data is byte-identical to [`Campaign::collect_direct`]
     /// at the same seed, on any number of threads.
-    pub fn collect(self, suite: &[Box<dyn Workload>], seed: u64) -> CampaignData {
+    pub fn collect(self, suite: &[BoxedWorkload], seed: u64) -> CampaignData {
         self.collect_impl(suite, seed, true)
     }
 
@@ -272,15 +322,17 @@ impl Campaign {
     /// directly ([`Campaign::characterize`]). Kept as the verification
     /// baseline for the prepared path — `tests/prepared_replay.rs` asserts
     /// the two produce byte-identical campaigns.
-    pub fn collect_direct(self, suite: &[Box<dyn Workload>], seed: u64) -> CampaignData {
+    pub fn collect_direct(self, suite: &[BoxedWorkload], seed: u64) -> CampaignData {
         self.collect_impl(suite, seed, false)
     }
 
-    fn collect_impl(mut self, suite: &[Box<dyn Workload>], seed: u64, prepared: bool) -> CampaignData {
+    fn collect_impl(mut self, suite: &[BoxedWorkload], seed: u64, prepared: bool) -> CampaignData {
         let mut rows: Vec<CampaignRow> = Vec::new();
         let mut simulated = 0.0;
-        let profiled: Vec<ProfiledWorkload> =
-            suite.iter().map(|w| self.profile(w.as_ref(), seed)).collect();
+        // Profiling phase: the whole suite fans out on the shared pool
+        // (per-workload seeds are independent), with cache hits sharing
+        // frozen profiles across campaigns in this process.
+        let profiled: Vec<Arc<ProfiledWorkload>> = self.profile_suite(suite, seed);
 
         // Temperature set-points group the grid like the physical campaign
         // (heat once per temperature, then sweep refresh periods).
@@ -408,7 +460,7 @@ mod tests {
     use super::*;
     use wade_workloads::{Scale, WorkloadId};
 
-    fn tiny_suite() -> Vec<Box<dyn Workload>> {
+    fn tiny_suite() -> Vec<BoxedWorkload> {
         vec![
             WorkloadId::Backprop.instantiate(1, Scale::Test),
             WorkloadId::Memcached.instantiate(8, Scale::Test),

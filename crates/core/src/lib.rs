@@ -37,6 +37,7 @@ mod collect;
 mod error;
 mod model;
 mod predictor;
+mod profile_cache;
 mod server;
 mod thermal;
 
@@ -45,7 +46,8 @@ pub use collect::{build_pue_dataset, build_wer_dataset, op_augmented_row, MIN_CE
 pub use error::WadeError;
 pub use model::{train_error_model, AnyModel, ErrorModel, MlKind};
 pub use predictor::{evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport};
+pub use profile_cache::ProfileCache;
 pub use server::{ProfiledWorkload, SimulatedServer};
 pub use thermal::{PidController, ThermalTestbed};
 
-pub use wade_dram::{DramUsageProfile, OperatingPoint, PreparedRun};
+pub use wade_dram::{DramUsageProfile, LiveCellIndex, OperatingPoint, PreparedRun};

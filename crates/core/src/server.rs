@@ -9,7 +9,7 @@ use wade_workloads::Workload;
 
 /// One workload's profiling result: the 249 features, the DRAM usage
 /// profile for the error simulator, and the raw reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfiledWorkload {
     /// Benchmark label (paper style, e.g. `"backprop(par)"`).
     pub name: String,
@@ -28,15 +28,20 @@ pub struct ProfiledWorkload {
 pub struct SimulatedServer {
     device: DramDevice,
     soc_config: SocConfig,
+    /// Order-stable hash of `soc_config`, precomputed so the profile
+    /// cache's warm-hit path is a pure map lookup.
+    soc_fingerprint: u64,
     thermal: ThermalTestbed,
 }
 
 impl SimulatedServer {
     /// Manufactures a server whose DRAM reliability is fixed by `seed`.
     pub fn with_seed(seed: u64) -> Self {
+        let soc_config = Self::profiling_soc_config();
         Self {
             device: DramDevice::with_seed(seed),
-            soc_config: Self::profiling_soc_config(),
+            soc_fingerprint: fingerprint_soc_config(&soc_config),
+            soc_config,
             thermal: ThermalTestbed::new(),
         }
     }
@@ -69,6 +74,17 @@ impl SimulatedServer {
         &self.device
     }
 
+    /// The SoC configuration profiling runs execute against.
+    pub fn soc_config(&self) -> &SocConfig {
+        &self.soc_config
+    }
+
+    /// Precomputed order-stable hash of [`SimulatedServer::soc_config`];
+    /// part of the profile-cache key.
+    pub fn soc_fingerprint(&self) -> u64 {
+        self.soc_fingerprint
+    }
+
     /// The thermal testbed (mutable: campaigns set temperatures).
     pub fn thermal_mut(&mut self) -> &mut ThermalTestbed {
         &mut self.thermal
@@ -78,9 +94,32 @@ impl SimulatedServer {
     /// the instrumented kernel once against the tracer and the SoC model
     /// simultaneously, extracts the 249 features and builds the DRAM usage
     /// profile.
+    ///
+    /// The kernel emits through a staging buffer
+    /// ([`wade_workloads::Workload::run_buffered`]): the fanout, tracer and
+    /// SoC model consume access slices instead of one virtual-boundary call
+    /// per access. Observationally identical to the per-access reference
+    /// path ([`SimulatedServer::profile_workload_unbatched`], asserted by
+    /// test), just faster.
     pub fn profile_workload(&self, workload: &dyn Workload, seed: u64) -> ProfiledWorkload {
         let mut fan = FanoutSink::new(Tracer::new(), Soc::new(self.soc_config));
+        workload.run_buffered(&mut fan, seed);
+        Self::summarize(workload, fan)
+    }
+
+    /// The pre-batching reference path: the kernel calls straight into the
+    /// fanout, one virtual call per access. Kept (and exercised by tests
+    /// and the `bench` bin) as the baseline the batched front-end must
+    /// match byte-for-byte.
+    pub fn profile_workload_unbatched(&self, workload: &dyn Workload, seed: u64) -> ProfiledWorkload {
+        let mut fan = FanoutSink::new(Tracer::new(), Soc::new(self.soc_config));
         workload.run(&mut fan, seed);
+        Self::summarize(workload, fan)
+    }
+
+    /// The shared summary step of both profiling paths: reports → features
+    /// → deployment-scale usage profile.
+    fn summarize(workload: &dyn Workload, fan: FanoutSink<Tracer, Soc>) -> ProfiledWorkload {
         let (tracer, soc) = fan.into_inner();
         let soc_report = soc.report();
         let trace_report = tracer.report();
@@ -99,6 +138,16 @@ impl SimulatedServer {
             trace: trace_report,
         }
     }
+}
+
+/// Order-stable fingerprint of a SoC configuration (the vendored serde
+/// serializes structs in field order).
+fn fingerprint_soc_config(config: &SocConfig) -> u64 {
+    use std::hash::Hasher as _;
+    let json = serde_json::to_string(config).expect("SocConfig serializes");
+    let mut hasher = rustc_hash::FxHasher::default();
+    hasher.write(json.as_bytes());
+    hasher.finish()
 }
 
 /// Builds the deployment-scale [`DramUsageProfile`] from one profiling run.

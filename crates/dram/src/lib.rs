@@ -63,7 +63,7 @@ pub use fx::{FxHashMap, FxHasher};
 pub use geometry::{RankId, ServerGeometry, RANK_COUNT};
 pub use op::OperatingPoint;
 pub use profile::{DramUsageProfile, ReuseQuantiles};
-pub use prepared::PreparedRun;
+pub use prepared::{LiveCellIndex, PreparedRun};
 pub use retention::RetentionLaw;
 pub use sim::ErrorSim;
 pub use variation::RankVariation;

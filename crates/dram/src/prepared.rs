@@ -52,6 +52,27 @@ pub(crate) struct PreparedCell {
     pub(crate) bucket: u8,
 }
 
+impl PreparedCell {
+    /// Plays out one replay's run randomness for this (already gated)
+    /// frozen cell — the single manifest step both replay paths share, so
+    /// the bit-identity guarantee cannot drift between them.
+    fn manifest(
+        &self,
+        ctx: &RunContext<'_>,
+        rank_run_seed: u64,
+        p_companion_unit: f64,
+    ) -> Option<Candidate> {
+        let gated = GatedCell {
+            bucket: self.bucket as usize,
+            word: self.word,
+            lane: self.lane,
+            read_rate: self.read_rate,
+            cell_key: self.cell_key,
+        };
+        ctx.manifest_cell(&gated, rank_run_seed, p_companion_unit)
+    }
+}
+
 /// One rank's frozen realization: benchmark-footprint cells in canonical
 /// (segment, cell) order plus the OS-resident walk in quantile order.
 #[derive(Debug, Clone)]
@@ -98,6 +119,11 @@ pub struct PreparedRun<'d> {
     temp_c: f64,
     vdd_v: f64,
     max_trefp_s: f64,
+    /// Process-unique realization stamp, copied into every
+    /// [`LiveCellIndex`] so an index cannot be replayed against a
+    /// *different* population that happens to share its shape. Clones
+    /// keep the stamp: their content is identical, so cross-use is sound.
+    stamp: u64,
     ranks: Vec<PreparedRank>,
 }
 
@@ -105,6 +131,33 @@ pub struct PreparedRun<'d> {
 /// (slice boundaries are deterministic, and the order-stable merge makes
 /// them invisible in the output).
 const REPLAY_SLICES: usize = 8;
+
+/// One operating point's pre-gated view of a [`PreparedRun`]: per rank, the
+/// (ascending) arena indices of the cells that survive the population-side
+/// gates at that op. Built by [`PreparedRun::live_index`], consumed by
+/// [`PreparedRun::run_indexed`]; prepared once per set-point and shared by
+/// all its repeats.
+#[derive(Debug, Clone)]
+pub struct LiveCellIndex {
+    op: OperatingPoint,
+    /// Identity stamp of the realization this index was built against
+    /// (clones of a `PreparedRun` share content and stamp).
+    stamp: u64,
+    /// Per rank: indices into the rank's frozen cell arena.
+    live: Vec<Vec<u32>>,
+}
+
+impl LiveCellIndex {
+    /// The operating point this index gates for.
+    pub fn op(&self) -> OperatingPoint {
+        self.op
+    }
+
+    /// Total live cells across all ranks at this set-point.
+    pub fn live_cells(&self) -> usize {
+        self.live.iter().map(Vec::len).sum()
+    }
+}
 
 impl<'d> PreparedRun<'d> {
     /// Realizes the population shared by `ops` (all at one temperature and
@@ -169,7 +222,11 @@ impl<'d> PreparedRun<'d> {
             };
             ranks.push(PreparedRank { cells, os_cells });
         }
-        Self { device, profile: profile.clone(), temp_c, vdd_v, max_trefp_s, ranks }
+        // Realization stamp: monotone process-wide counter (never part of
+        // any simulated randomness — purely an identity check).
+        static STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let stamp = STAMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Self { device, profile: profile.clone(), temp_c, vdd_v, max_trefp_s, stamp, ranks }
     }
 
     /// The device this population was realized against.
@@ -180,6 +237,124 @@ impl<'d> PreparedRun<'d> {
     /// The usage profile the population was realized for.
     pub fn profile(&self) -> &DramUsageProfile {
         &self.profile
+    }
+
+    /// The operating-point checks shared by every replay entry point.
+    fn check_replay_op(&self, op: OperatingPoint) {
+        op.validate().expect("invalid operating point");
+        assert!(
+            op.temp_c == self.temp_c && op.vdd_v == self.vdd_v,
+            "replay at {op} against a population prepared for {} °C / {} V",
+            self.temp_c,
+            self.vdd_v
+        );
+        assert!(
+            op.trefp_s <= self.max_trefp_s,
+            "replay TREFP {} s exceeds the prepared envelope {} s",
+            op.trefp_s,
+            self.max_trefp_s
+        );
+    }
+
+    /// Gates the frozen population once at `op`, returning the per-rank
+    /// index of cells that are *live* there (below the thinning cap and past
+    /// the implicit-refresh gate).
+    ///
+    /// The gates are pure functions of (population, operating point) — run
+    /// randomness never enters them — so one index serves every repeat at
+    /// the set-point: [`PreparedRun::run_indexed`] replays only the indexed
+    /// cells instead of re-gating the whole arena per run. Campaigns build
+    /// one index per (set-point) and share it across the PUE repeats.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`PreparedRun::run`].
+    pub fn live_index(&self, op: OperatingPoint) -> LiveCellIndex {
+        self.check_replay_op(op);
+        // Duration and run seed are placeholders: the gates touch only
+        // population-side context (thinning cap, coupling, t_eff table).
+        let ctx = RunContext::new(self.device, &self.profile, op, 0.0, 0);
+        let live = self
+            .ranks
+            .iter()
+            .map(|rank| {
+                rank.cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| ctx.cell_is_live(c.q, c.retention, c.bucket as usize))
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect();
+        LiveCellIndex { op, stamp: self.stamp, live }
+    }
+
+    /// [`PreparedRun::run`] against a pre-gated [`LiveCellIndex`]: skips the
+    /// per-cell gate checks and plays out run randomness for the indexed
+    /// cells only. Bit-identical to [`PreparedRun::run`] (and therefore to
+    /// [`crate::ErrorSim::run`]) at the index's operating point, because the
+    /// indexed cells are exactly the gate survivors, in the same canonical
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if `index` was built from a different `PreparedRun`
+    /// realization (or a clone of one — clones share content and stamp),
+    /// or if its op fails the replay checks.
+    pub fn run_indexed(&self, index: &LiveCellIndex, duration_s: f64, run_seed: u64) -> RunResult {
+        let op = index.op;
+        self.check_replay_op(op);
+        assert_eq!(index.stamp, self.stamp, "live index built for another prepared population");
+        let ctx = RunContext::new(self.device, &self.profile, op, duration_s, run_seed);
+        let rank_count = self.ranks.len();
+        let units: Vec<(usize, usize)> = (0..rank_count)
+            .flat_map(|r| (0..=REPLAY_SLICES).map(move |s| (r, s)))
+            .collect();
+        let outcomes: Vec<UnitOutcome> = units
+            .into_par_iter()
+            .map(|(rank, slice)| {
+                if slice < REPLAY_SLICES {
+                    UnitOutcome::Pop(self.replay_indexed_slice(&ctx, index, rank, slice))
+                } else {
+                    UnitOutcome::Aux(
+                        ctx.aux_channels(rank, OsSource::Prepared(&self.ranks[rank].os_cells)),
+                    )
+                }
+            })
+            .collect();
+        finalize_outcomes(
+            outcomes,
+            rank_count,
+            REPLAY_SLICES,
+            self.profile.footprint_words,
+            duration_s,
+        )
+    }
+
+    /// One deterministic slice of a rank's *live* cells: run randomness
+    /// only, no re-gating. Slice boundaries differ from
+    /// [`PreparedRun::replay_slice`]'s (they partition the live list, not
+    /// the arena), which the order-stable merge makes invisible: per rank,
+    /// concatenating the slices yields the live cells in stored (segment,
+    /// cell) order either way.
+    fn replay_indexed_slice(
+        &self,
+        ctx: &RunContext<'_>,
+        index: &LiveCellIndex,
+        rank_index: usize,
+        slice: usize,
+    ) -> Vec<Candidate> {
+        let cells = &self.ranks[rank_index].cells;
+        let live = &index.live[rank_index];
+        let lo = live.len() * slice / REPLAY_SLICES;
+        let hi = live.len() * (slice + 1) / REPLAY_SLICES;
+        let rank_run_seed = ctx.rank_run_seed(rank_index);
+        let p_companion_unit = ctx.p_companion_unit(rank_index);
+        let mut out = Vec::with_capacity((hi - lo) / 2 + 4);
+        for &i in &live[lo..hi] {
+            if let Some(cand) = cells[i as usize].manifest(ctx, rank_run_seed, p_companion_unit) {
+                out.push(cand);
+            }
+        }
+        out
     }
 
     /// Total frozen cells across all ranks (benchmark footprint + OS).
@@ -200,19 +375,7 @@ impl<'d> PreparedRun<'d> {
     /// (temperature, voltage) key, or exceeds the prepared refresh-period
     /// envelope.
     pub fn run(&self, op: OperatingPoint, duration_s: f64, run_seed: u64) -> RunResult {
-        op.validate().expect("invalid operating point");
-        assert!(
-            op.temp_c == self.temp_c && op.vdd_v == self.vdd_v,
-            "replay at {op} against a population prepared for {} °C / {} V",
-            self.temp_c,
-            self.vdd_v
-        );
-        assert!(
-            op.trefp_s <= self.max_trefp_s,
-            "replay TREFP {} s exceeds the prepared envelope {} s",
-            op.trefp_s,
-            self.max_trefp_s
-        );
+        self.check_replay_op(op);
         let ctx = RunContext::new(self.device, &self.profile, op, duration_s, run_seed);
         let rank_count = self.ranks.len();
         let units: Vec<(usize, usize)> = (0..rank_count)
@@ -252,14 +415,7 @@ impl<'d> PreparedRun<'d> {
             if !ctx.cell_is_live(cell.q, cell.retention, cell.bucket as usize) {
                 continue;
             }
-            let gated = GatedCell {
-                bucket: cell.bucket as usize,
-                word: cell.word,
-                lane: cell.lane,
-                read_rate: cell.read_rate,
-                cell_key: cell.cell_key,
-            };
-            if let Some(cand) = ctx.manifest_cell(&gated, rank_run_seed, p_companion_unit) {
+            if let Some(cand) = cell.manifest(ctx, rank_run_seed, p_companion_unit) {
                 out.push(cand);
             }
         }
@@ -332,6 +488,84 @@ mod tests {
             pool.install(|| ErrorSim::new(&d).prepare(&p, &[op]).run(op, 7200.0, 11))
         };
         assert_eq!(run_with(1), run_with(8));
+    }
+
+    #[test]
+    fn indexed_replay_is_bit_identical_to_run() {
+        // The per-op live-cell index must be invisible: same RunResult as
+        // the re-gating replay (and therefore as the direct path) at every
+        // set-point and seed, including the crash-prone 70 °C corner.
+        let d = device();
+        let sim = ErrorSim::new(&d);
+        let p = profile();
+        for temp in [60.0, 70.0] {
+            let ops = [
+                OperatingPoint::relaxed(1.173, temp),
+                OperatingPoint::relaxed(1.727, temp),
+                OperatingPoint::relaxed(2.283, temp),
+            ];
+            let prepared = sim.prepare(&p, &ops);
+            for op in ops {
+                let index = prepared.live_index(op);
+                assert!(index.live_cells() <= prepared.frozen_cells());
+                assert_eq!(index.op(), op);
+                for seed in 0..3 {
+                    assert_eq!(
+                        prepared.run_indexed(&index, 7200.0, seed),
+                        prepared.run(op, 7200.0, seed),
+                        "indexed replay diverged at {op} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_index_grows_with_trefp() {
+        // Longer refresh periods relax the gates monotonically: every cell
+        // live at a short TREFP stays live at a longer one.
+        let d = device();
+        let ops = [
+            OperatingPoint::relaxed(1.173, 60.0),
+            OperatingPoint::relaxed(1.727, 60.0),
+            OperatingPoint::relaxed(2.283, 60.0),
+        ];
+        let prepared = ErrorSim::new(&d).prepare(&profile(), &ops);
+        let counts: Vec<usize> = ops.iter().map(|&op| prepared.live_index(op).live_cells()).collect();
+        assert!(counts[0] <= counts[1] && counts[1] <= counts[2], "{counts:?}");
+        assert!(counts[2] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "another prepared population")]
+    fn foreign_live_index_is_rejected() {
+        // Two realizations with identical shape (same device, temp, vdd)
+        // but different usage profiles: an index from one must not replay
+        // against the other.
+        let d = device();
+        let op = OperatingPoint::relaxed(1.727, 60.0);
+        let a = ErrorSim::new(&d).prepare(&profile(), &[op]);
+        let b = ErrorSim::new(&d).prepare(&DramUsageProfile::uniform_synthetic(1 << 26), &[op]);
+        let index_a = a.live_index(op);
+        b.run_indexed(&index_a, 7200.0, 1);
+    }
+
+    #[test]
+    fn cloned_prepared_run_shares_its_index() {
+        let d = device();
+        let op = OperatingPoint::relaxed(1.727, 60.0);
+        let a = ErrorSim::new(&d).prepare(&profile(), &[op]);
+        let b = a.clone();
+        let index = a.live_index(op);
+        assert_eq!(b.run_indexed(&index, 7200.0, 3), a.run(op, 7200.0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the prepared envelope")]
+    fn live_index_beyond_the_envelope_is_rejected() {
+        let d = device();
+        let prepared = ErrorSim::new(&d).prepare(&profile(), &[OperatingPoint::relaxed(1.173, 60.0)]);
+        prepared.live_index(OperatingPoint::relaxed(2.283, 60.0));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::cache::Cache;
 use crate::config::SocConfig;
 use crate::counters::{CoreCounters, McuCounters, SocReport};
 use crate::mcu::{Mcu, MCU_COUNT};
-use wade_trace::{AccessSink, MemAccess};
+use wade_trace::{AccessSink, MemAccess, StagedAccess};
 
 /// Trace-driven model of the eight-core server SoC.
 ///
@@ -64,8 +64,10 @@ impl Soc {
     }
 }
 
-impl AccessSink for Soc {
-    fn on_access(&mut self, access: MemAccess) {
+impl Soc {
+    /// The shared per-access routing of both sink paths.
+    #[inline]
+    fn route_access(&mut self, access: MemAccess) {
         let core_id = (access.tid as usize) % self.config.cores;
         self.current_tid = access.tid;
         let is_write = access.is_write();
@@ -139,13 +141,36 @@ impl AccessSink for Soc {
         }
     }
 
-    fn on_instructions(&mut self, count: u64) {
-        // Non-memory instructions are attributed to the core of the most
-        // recent access (kernels interleave gap batches with their accesses).
+    /// Non-memory instructions are attributed to the core of the most
+    /// recent access (kernels interleave gap batches with their accesses).
+    #[inline]
+    fn retire_gap(&mut self, count: u64) {
         let core_id = (self.current_tid as usize) % self.config.cores;
         let core = &mut self.cores[core_id];
         core.instructions += count;
         core.cycles += count;
+    }
+}
+
+impl AccessSink for Soc {
+    fn on_access(&mut self, access: MemAccess) {
+        self.route_access(access);
+    }
+
+    fn on_instructions(&mut self, count: u64) {
+        self.retire_gap(count);
+    }
+
+    fn on_accesses(&mut self, batch: &[StagedAccess]) {
+        // One virtual boundary per slice. Each gap retires on the core of
+        // the access *preceding* it (`current_tid` is still that access's
+        // thread), exactly as in the interleaved call stream.
+        for staged in batch {
+            if staged.gap_before > 0 {
+                self.retire_gap(staged.gap_before);
+            }
+            self.route_access(staged.access);
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Data-pattern entropy `H_DP` (paper eq. 5).
 
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Estimates the Shannon entropy of the 32-bit values a program writes to
 /// memory, following eq. 5 of the paper:
@@ -14,7 +14,11 @@ use std::collections::HashMap;
 /// layer needs for true-/anti-cell vulnerability.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EntropyEstimator {
-    counts: HashMap<u32, u64>,
+    /// FxHash: two entry updates per store is the estimator's whole cost,
+    /// and [`EntropyEstimator::entropy_bits`] accumulates over *sorted*
+    /// counts, so the summary is independent of the hasher's iteration
+    /// order (the swap from SipHash cannot move any seeded baseline).
+    counts: FxHashMap<u32, u64>,
     samples: u64,
     one_bits: u64,
 }

@@ -50,6 +50,25 @@ impl MemAccess {
     }
 }
 
+/// One entry of a staged access batch: a memory access plus the non-memory
+/// instructions retired immediately *before* it.
+///
+/// This is the unit of the batched sink contract
+/// ([`crate::AccessSink::on_accesses`]): replaying a batch in order —
+/// `gap_before` instructions, then the access — reproduces the original
+/// interleaved `on_instructions` / `on_access` call stream exactly, so a
+/// batched consumer is observationally identical to a per-access one. The
+/// gap rides inside the batch element because workload kernels interleave
+/// instruction gaps between nearly every access; batching only gap-free
+/// runs would leave the batches one or two accesses long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StagedAccess {
+    /// Non-memory instructions executed since the previous staged event.
+    pub gap_before: u64,
+    /// The memory access itself.
+    pub access: MemAccess,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

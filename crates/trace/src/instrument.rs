@@ -1,7 +1,7 @@
 //! The tracer: an [`AccessSink`] that builds a [`TraceReport`].
 
 use crate::entropy::EntropyEstimator;
-use crate::event::MemAccess;
+use crate::event::{MemAccess, StagedAccess};
 use crate::region::RegionCounter;
 use crate::report::TraceReport;
 use crate::reuse::ReuseTracker;
@@ -34,6 +34,22 @@ impl Tracer {
         self.instructions
     }
 
+    /// The shared per-access accounting of both sink paths.
+    #[inline]
+    fn record(&mut self, access: MemAccess) {
+        // A memory access is itself one instruction.
+        self.instructions += 1;
+        self.mem_accesses += 1;
+        if access.is_write() {
+            self.writes += 1;
+            self.entropy.record(access.value);
+        } else {
+            self.reads += 1;
+        }
+        self.reuse.touch(access.word_index(), self.instructions);
+        self.regions.record(access.addr, access.is_write());
+    }
+
     /// Produces the summary report for everything observed so far.
     pub fn report(&self) -> TraceReport {
         TraceReport {
@@ -57,21 +73,21 @@ impl Tracer {
 
 impl AccessSink for Tracer {
     fn on_access(&mut self, access: MemAccess) {
-        // A memory access is itself one instruction.
-        self.instructions += 1;
-        self.mem_accesses += 1;
-        if access.is_write() {
-            self.writes += 1;
-            self.entropy.record(access.value);
-        } else {
-            self.reads += 1;
-        }
-        self.reuse.touch(access.word_index(), self.instructions);
-        self.regions.record(access.addr, access.is_write());
+        self.record(access);
     }
 
     fn on_instructions(&mut self, count: u64) {
         self.instructions += count;
+    }
+
+    fn on_accesses(&mut self, batch: &[StagedAccess]) {
+        // One virtual boundary for the whole slice; the gap lands on the
+        // instruction counter before its access, exactly like the
+        // interleaved call stream.
+        for staged in batch {
+            self.instructions += staged.gap_before;
+            self.record(staged.access);
+        }
     }
 }
 

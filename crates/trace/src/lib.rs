@@ -40,12 +40,14 @@ mod region;
 mod report;
 mod reuse;
 mod sink;
+mod staging;
 pub mod synthetic;
 
 pub use entropy::EntropyEstimator;
-pub use event::{AccessKind, MemAccess};
+pub use event::{AccessKind, MemAccess, StagedAccess};
 pub use instrument::Tracer;
 pub use region::{RegionCounter, RegionUse, REGION_COUNT};
 pub use report::TraceReport;
 pub use reuse::{ReuseHistogram, ReuseTracker, REUSE_BUCKETS};
 pub use sink::{AccessSink, FanoutSink, NullSink};
+pub use staging::{StagingSink, DEFAULT_STAGING_CAPACITY};

@@ -1,7 +1,8 @@
 //! Reuse-distance tracking (the `D_reuse` of eq. 4).
 
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
 
 /// Number of logarithmic reuse-distance buckets (bucket `i` holds distances
 /// in `[2^i, 2^(i+1))` instructions; bucket 0 holds `{0, 1}`).
@@ -84,27 +85,48 @@ impl Default for ReuseHistogram {
 
 /// Tracks, per 64-bit word, the instruction index of the last reference and
 /// accumulates reuse-distance statistics over an execution.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReuseTracker {
-    /// word → (last touch instruction, has been re-referenced at least once).
-    last_touch: HashMap<u64, (u64, bool)>,
+    /// word → (last touch instruction, has been re-referenced at least
+    /// once). FxHash: keys are word indices the kernels generated
+    /// themselves, so the SipHash DoS guarantee buys nothing on this
+    /// one-lookup-per-access path.
+    last_touch: FxHashMap<u64, (u64, bool)>,
     histogram: ReuseHistogram,
     sum_distance: f64,
     reuse_count: u64,
     reused_words: u64,
 }
 
+impl Default for ReuseTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ReuseTracker {
-    /// An empty tracker.
+    /// An empty tracker, pre-sized so typical mini-kernel footprints
+    /// (tens of thousands of words) avoid the early rehash cascade.
+    /// (`Default` — what `Tracer::new` reaches through — builds this too.)
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            last_touch: FxHashMap::with_capacity_and_hasher(1 << 15, Default::default()),
+            histogram: ReuseHistogram::new(),
+            sum_distance: 0.0,
+            reuse_count: 0,
+            reused_words: 0,
+        }
     }
 
     /// Records a reference to `word` at instruction index `instr_now`,
     /// returning the reuse distance if the word was seen before.
     pub fn touch(&mut self, word: u64, instr_now: u64) -> Option<u64> {
-        match self.last_touch.insert(word, (instr_now, true)) {
-            Some((prev, was_reused)) => {
+        // One entry lookup for both the first-touch and the re-reference
+        // case (the old insert-then-insert cost two hashes per new word).
+        match self.last_touch.entry(word) {
+            Entry::Occupied(mut slot) => {
+                let (prev, was_reused) = *slot.get();
+                slot.insert((instr_now, true));
                 if !was_reused {
                     self.reused_words += 1;
                 }
@@ -114,9 +136,9 @@ impl ReuseTracker {
                 self.reuse_count += 1;
                 Some(d)
             }
-            None => {
+            Entry::Vacant(slot) => {
                 // First touch: mark as not-yet-reused.
-                self.last_touch.insert(word, (instr_now, false));
+                slot.insert((instr_now, false));
                 None
             }
         }

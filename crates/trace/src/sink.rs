@@ -1,6 +1,6 @@
 //! The sink abstraction connecting workloads to instrumentation backends.
 
-use crate::event::MemAccess;
+use crate::event::{MemAccess, StagedAccess};
 
 /// Consumer of an instrumented execution.
 ///
@@ -8,6 +8,20 @@ use crate::event::MemAccess;
 /// observed by the [`crate::Tracer`] (reuse/entropy statistics), by the
 /// memory-system simulator (cache/MCU counters), or by both at once through
 /// [`FanoutSink`].
+///
+/// # Batched delivery
+///
+/// Hot callers (the profiling front-end) stage the event stream through a
+/// [`crate::StagingSink`] and deliver it in slices via
+/// [`AccessSink::on_accesses`] — one virtual-boundary call per batch instead
+/// of one per access. The default implementation replays the batch through
+/// the per-access hooks, so a sink that only implements `on_access` /
+/// `on_instructions` observes exactly the original stream; sinks on the hot
+/// path ([`crate::Tracer`], the SoC model, [`FanoutSink`]) override it with
+/// a tight slice loop. Overrides must preserve the replay semantics
+/// (`gap_before` instructions strictly before their access, batch order =
+/// program order) — the batched and per-access paths are asserted
+/// report-identical by tests.
 pub trait AccessSink {
     /// Called for every memory access, in program order.
     fn on_access(&mut self, access: MemAccess);
@@ -15,6 +29,20 @@ pub trait AccessSink {
     /// Called for batches of non-memory instructions executed between
     /// accesses (arithmetic, branches, address generation).
     fn on_instructions(&mut self, count: u64);
+
+    /// Called with a staged slice of the event stream, in program order.
+    ///
+    /// Equivalent to replaying, for each entry, `on_instructions(gap_before)`
+    /// (when non-zero) followed by `on_access(access)` — which is exactly
+    /// what this default implementation does.
+    fn on_accesses(&mut self, batch: &[StagedAccess]) {
+        for staged in batch {
+            if staged.gap_before > 0 {
+                self.on_instructions(staged.gap_before);
+            }
+            self.on_access(staged.access);
+        }
+    }
 }
 
 /// Sink that discards everything; useful for running a kernel purely for its
@@ -25,6 +53,7 @@ pub struct NullSink;
 impl AccessSink for NullSink {
     fn on_access(&mut self, _access: MemAccess) {}
     fn on_instructions(&mut self, _count: u64) {}
+    fn on_accesses(&mut self, _batch: &[StagedAccess]) {}
 }
 
 /// Broadcasts one execution to two sinks (tracer + SoC model, typically).
@@ -74,6 +103,13 @@ impl<A: AccessSink, B: AccessSink> AccessSink for FanoutSink<A, B> {
         self.a.on_instructions(count);
         self.b.on_instructions(count);
     }
+
+    fn on_accesses(&mut self, batch: &[StagedAccess]) {
+        // Forward the slice itself: each leg consumes it with its own
+        // batched loop (or the default replay if it has none).
+        self.a.on_accesses(batch);
+        self.b.on_accesses(batch);
+    }
 }
 
 impl<S: AccessSink + ?Sized> AccessSink for &mut S {
@@ -83,6 +119,10 @@ impl<S: AccessSink + ?Sized> AccessSink for &mut S {
 
     fn on_instructions(&mut self, count: u64) {
         (**self).on_instructions(count);
+    }
+
+    fn on_accesses(&mut self, batch: &[StagedAccess]) {
+        (**self).on_accesses(batch);
     }
 }
 
@@ -96,6 +136,7 @@ mod tests {
         let mut sink = NullSink;
         sink.on_access(MemAccess::read(0, 0));
         sink.on_instructions(1000);
+        sink.on_accesses(&[StagedAccess { gap_before: 3, access: MemAccess::read(8, 0) }]);
     }
 
     #[test]
@@ -106,6 +147,48 @@ mod tests {
         let (a, b) = fan.into_inner();
         assert_eq!(a.report().mem_accesses, b.report().mem_accesses);
         assert_eq!(a.report().instructions, b.report().instructions);
+    }
+
+    #[test]
+    fn fanout_forwards_batches_to_both_legs() {
+        let batch = [
+            StagedAccess { gap_before: 0, access: MemAccess::write(0, 9, 0) },
+            StagedAccess { gap_before: 5, access: MemAccess::read(0, 0) },
+        ];
+        let mut fan = FanoutSink::new(Tracer::new(), Tracer::new());
+        fan.on_accesses(&batch);
+        let (a, b) = fan.into_inner();
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.report().instructions, 7);
+        assert_eq!(a.report().mem_accesses, 2);
+    }
+
+    #[test]
+    fn default_batch_replay_matches_per_access_calls() {
+        /// Sink with no batch override: records the replayed call stream.
+        #[derive(Default)]
+        struct Recorder {
+            calls: Vec<(u64, Option<MemAccess>)>,
+        }
+        impl AccessSink for Recorder {
+            fn on_access(&mut self, access: MemAccess) {
+                self.calls.push((0, Some(access)));
+            }
+            fn on_instructions(&mut self, count: u64) {
+                self.calls.push((count, None));
+            }
+        }
+        let batch = [
+            StagedAccess { gap_before: 0, access: MemAccess::read(0, 1) },
+            StagedAccess { gap_before: 4, access: MemAccess::write(8, 2, 1) },
+        ];
+        let mut batched = Recorder::default();
+        batched.on_accesses(&batch);
+        let mut direct = Recorder::default();
+        direct.on_access(MemAccess::read(0, 1));
+        direct.on_instructions(4);
+        direct.on_access(MemAccess::write(8, 2, 1));
+        assert_eq!(batched.calls, direct.calls);
     }
 
     #[test]

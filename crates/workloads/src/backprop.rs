@@ -15,6 +15,7 @@ use wade_trace::AccessSink;
 #[derive(Debug, Clone)]
 pub struct Backprop {
     threads: u8,
+    scale: Scale,
     input: usize,
     hidden: usize,
     output: usize,
@@ -30,8 +31,8 @@ impl Backprop {
     /// Creates the kernel at the given thread count and scale.
     pub fn new(threads: u8, scale: Scale) -> Self {
         match scale {
-            Scale::Full => Self { threads, input: 128, hidden: 64, output: 16, samples: 48, epochs: 3 },
-            Scale::Test => Self { threads, input: 16, hidden: 8, output: 4, samples: 6, epochs: 2 },
+            Scale::Full => Self { threads, scale, input: 128, hidden: 64, output: 16, samples: 48, epochs: 3 },
+            Scale::Test => Self { threads, scale, input: 16, hidden: 8, output: 4, samples: 6, epochs: 2 },
         }
     }
 
@@ -128,6 +129,10 @@ fn sigmoid(x: f64) -> f64 {
 }
 
 impl Workload for Backprop {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         paper_label("backprop", self.threads)
     }

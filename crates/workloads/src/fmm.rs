@@ -21,6 +21,7 @@ const THETA: f64 = 0.6;
 #[derive(Debug, Clone)]
 pub struct Fmm {
     threads: u8,
+    scale: Scale,
     particles: usize,
     steps: usize,
 }
@@ -43,8 +44,8 @@ impl Fmm {
     /// Creates the kernel.
     pub fn new(threads: u8, scale: Scale) -> Self {
         match scale {
-            Scale::Full => Self { threads, particles: 20_000, steps: 2 },
-            Scale::Test => Self { threads, particles: 300, steps: 2 },
+            Scale::Full => Self { threads, scale, particles: 20_000, steps: 2 },
+            Scale::Test => Self { threads, scale, particles: 300, steps: 2 },
         }
     }
 
@@ -213,6 +214,10 @@ fn descend(
 }
 
 impl Workload for Fmm {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         paper_label("fmm", self.threads)
     }

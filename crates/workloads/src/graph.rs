@@ -148,6 +148,10 @@ impl Pagerank {
 }
 
 impl Workload for Pagerank {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         "pagerank".to_string()
     }
@@ -215,6 +219,10 @@ impl Bfs {
 }
 
 impl Workload for Bfs {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         "bfs".to_string()
     }
@@ -324,6 +332,10 @@ impl Bc {
 }
 
 impl Workload for Bc {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         "bc".to_string()
     }

@@ -16,6 +16,7 @@ use wade_trace::AccessSink;
 #[derive(Debug, Clone)]
 pub struct Kmeans {
     threads: u8,
+    scale: Scale,
     points: usize,
     clusters: usize,
     iterations: usize,
@@ -27,8 +28,8 @@ impl Kmeans {
     /// Creates the kernel.
     pub fn new(threads: u8, scale: Scale) -> Self {
         match scale {
-            Scale::Full => Self { threads, points: 60_000, clusters: 12, iterations: 4 },
-            Scale::Test => Self { threads, points: 600, clusters: 4, iterations: 3 },
+            Scale::Full => Self { threads, scale, points: 60_000, clusters: 12, iterations: 4 },
+            Scale::Test => Self { threads, scale, points: 600, clusters: 4, iterations: 3 },
         }
     }
 
@@ -127,6 +128,10 @@ impl Kmeans {
 }
 
 impl Workload for Kmeans {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         paper_label("kmeans", self.threads)
     }

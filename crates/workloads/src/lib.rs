@@ -46,7 +46,7 @@ mod suite;
 pub use buffer::{AddressSpace, TracedBuffer};
 pub use graph::{Bc, Bfs, CsrGraph, Pagerank};
 pub use micro::MicroPattern;
-pub use spec::{DeployScale, Scale, Workload, WorkloadId};
+pub use spec::{BoxedWorkload, DeployScale, Scale, Workload, WorkloadId};
 pub use suite::{paper_suite, full_suite, micro_suite};
 
 pub use backprop::Backprop;

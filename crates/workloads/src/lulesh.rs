@@ -27,6 +27,7 @@ pub enum LuleshOpt {
 #[derive(Debug, Clone)]
 pub struct Lulesh {
     threads: u8,
+    scale: Scale,
     dim: usize,
     steps: usize,
     opt: LuleshOpt,
@@ -36,8 +37,8 @@ impl Lulesh {
     /// Creates the kernel with the given build variant.
     pub fn new(threads: u8, scale: Scale, opt: LuleshOpt) -> Self {
         match scale {
-            Scale::Full => Self { threads, dim: 28, steps: 5, opt },
-            Scale::Test => Self { threads, dim: 8, steps: 3, opt },
+            Scale::Full => Self { threads, scale, dim: 28, steps: 5, opt },
+            Scale::Test => Self { threads, scale, dim: 8, steps: 3, opt },
         }
     }
 
@@ -128,6 +129,10 @@ impl Lulesh {
 }
 
 impl Workload for Lulesh {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         match self.opt {
             LuleshOpt::O2 => "lulesh(O2)".to_string(),

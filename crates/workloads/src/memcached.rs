@@ -19,6 +19,7 @@ const SLOT_WORDS: usize = 2;
 #[derive(Debug, Clone)]
 pub struct Memcached {
     threads: u8,
+    scale: Scale,
     capacity: usize,
     keys: usize,
     ops: usize,
@@ -39,6 +40,7 @@ impl Memcached {
         match scale {
             Scale::Full => Self {
                 threads,
+                scale,
                 capacity: 1 << 19, // 512k slots
                 keys: 120_000,
                 ops: 1_200_000,
@@ -46,6 +48,7 @@ impl Memcached {
             },
             Scale::Test => Self {
                 threads,
+                scale,
                 capacity: 1 << 10,
                 keys: 600,
                 ops: 5_000,
@@ -124,6 +127,10 @@ impl Memcached {
 }
 
 impl Workload for Memcached {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         // The paper runs memcached only with 8 worker threads; no "(par)"
         // suffix is used there.

@@ -25,6 +25,7 @@ pub enum MicroPattern {
 #[derive(Debug, Clone)]
 pub struct DataPatternMicro {
     pattern: MicroPattern,
+    scale: Scale,
     words: u64,
     passes: u32,
 }
@@ -33,8 +34,8 @@ impl DataPatternMicro {
     /// Creates the micro-benchmark.
     pub fn new(pattern: MicroPattern, scale: Scale) -> Self {
         match scale {
-            Scale::Full => Self { pattern, words: 1 << 20, passes: 3 },
-            Scale::Test => Self { pattern, words: 1 << 10, passes: 2 },
+            Scale::Full => Self { pattern, scale, words: 1 << 20, passes: 3 },
+            Scale::Test => Self { pattern, scale, words: 1 << 10, passes: 2 },
         }
     }
 
@@ -55,6 +56,10 @@ impl DataPatternMicro {
 }
 
 impl Workload for DataPatternMicro {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         match self.pattern {
             MicroPattern::Random => "data-pattern(random)".to_string(),

@@ -19,6 +19,7 @@ const GAP_PENALTY: i64 = -2;
 #[derive(Debug, Clone)]
 pub struct NeedlemanWunsch {
     threads: u8,
+    scale: Scale,
     seq_len: usize,
     pairs: usize,
 }
@@ -29,8 +30,8 @@ impl NeedlemanWunsch {
     /// Creates the kernel.
     pub fn new(threads: u8, scale: Scale) -> Self {
         match scale {
-            Scale::Full => Self { threads, seq_len: 700, pairs: 2 },
-            Scale::Test => Self { threads, seq_len: 48, pairs: 2 },
+            Scale::Full => Self { threads, scale, seq_len: 700, pairs: 2 },
+            Scale::Test => Self { threads, scale, seq_len: 48, pairs: 2 },
         }
     }
 
@@ -101,6 +102,10 @@ impl NeedlemanWunsch {
 }
 
 impl Workload for NeedlemanWunsch {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         paper_label("nw", self.threads)
     }

@@ -1,6 +1,6 @@
 //! Workload identities, the `Workload` trait and deployment scaling.
 
-use wade_trace::AccessSink;
+use wade_trace::{AccessSink, StagingSink};
 
 /// Problem-size preset: full-size runs for campaigns/benches, reduced sizes
 /// for unit tests.
@@ -45,7 +45,11 @@ impl DeployScale {
 }
 
 /// A runnable, instrumented benchmark.
-pub trait Workload {
+///
+/// Implementors must be `Send + Sync` plain data (all kernels here are):
+/// the profiling front-end fans a suite out across the shared rayon pool,
+/// sharing the boxed workloads by reference (see [`BoxedWorkload`]).
+pub trait Workload: Send + Sync {
     /// Display name matching the paper's labels (`"backprop"`,
     /// `"backprop(par)"`, …).
     fn name(&self) -> String;
@@ -53,14 +57,48 @@ pub trait Workload {
     /// Logical threads used (1 or 8 in the paper).
     fn threads(&self) -> u8;
 
+    /// The problem-size preset this instance was built with. Together with
+    /// [`Workload::name`], [`Workload::threads`], the run seed,
+    /// [`Workload::deploy_scale`] and [`Workload::cache_token`] this
+    /// identifies a profiling run exactly — the profile-cache key one layer
+    /// up is built from these.
+    fn scale(&self) -> Scale;
+
+    /// Extra discriminant for the profile-cache key. The built-in kernels
+    /// are fully identified by (name, threads, scale, deploy scale), so the
+    /// default is 0; a custom [`Workload`] whose behaviour varies beyond
+    /// those fields (e.g. two parameterizations sharing one label) **must**
+    /// override this with a value derived from its parameters, or campaigns
+    /// in one process may serve it another instance's cached profile.
+    fn cache_token(&self) -> u64 {
+        0
+    }
+
     /// Executes the kernel, reporting every access to `sink`.
     fn run(&self, sink: &mut dyn AccessSink, seed: u64);
+
+    /// Executes the kernel through a reusable staging buffer: accesses are
+    /// batched and delivered to `sink` in slices via
+    /// [`AccessSink::on_accesses`] — one virtual-boundary call per batch
+    /// instead of one per access, observationally identical to
+    /// [`Workload::run`] (the staging contract preserves program order and
+    /// instruction indexing exactly).
+    fn run_buffered(&self, sink: &mut dyn AccessSink, seed: u64) {
+        let mut staged = StagingSink::new(sink);
+        self.run(&mut staged, seed);
+        // Dropping the staging sink flushes the final partial batch and any
+        // trailing instruction gap.
+    }
 
     /// Deployment-scale extrapolation constants for this kernel.
     fn deploy_scale(&self) -> DeployScale {
         DeployScale::paper_default()
     }
 }
+
+/// A boxed, shareable workload: the unit suites are made of. `Send + Sync`
+/// so a suite can be profiled in parallel on the shared rayon pool.
+pub type BoxedWorkload = Box<dyn Workload>;
 
 /// Enumeration of every benchmark family in the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -130,7 +168,7 @@ impl WorkloadId {
     ///
     /// # Panics
     /// Panics if `threads` is 0.
-    pub fn instantiate(&self, threads: u8, scale: Scale) -> Box<dyn Workload> {
+    pub fn instantiate(&self, threads: u8, scale: Scale) -> BoxedWorkload {
         assert!(threads > 0, "at least one thread required");
         match self {
             WorkloadId::Backprop => Box::new(crate::Backprop::new(threads, scale)),

@@ -15,6 +15,7 @@ use wade_trace::AccessSink;
 #[derive(Debug, Clone)]
 pub struct Srad {
     threads: u8,
+    scale: Scale,
     rows: usize,
     cols: usize,
     iterations: usize,
@@ -27,8 +28,8 @@ impl Srad {
     /// Creates the kernel.
     pub fn new(threads: u8, scale: Scale) -> Self {
         match scale {
-            Scale::Full => Self { threads, rows: 448, cols: 448, iterations: 4, lambda: 0.5 },
-            Scale::Test => Self { threads, rows: 24, cols: 24, iterations: 3, lambda: 0.5 },
+            Scale::Full => Self { threads, scale, rows: 448, cols: 448, iterations: 4, lambda: 0.5 },
+            Scale::Test => Self { threads, scale, rows: 24, cols: 24, iterations: 3, lambda: 0.5 },
         }
     }
 
@@ -101,6 +102,10 @@ impl Srad {
 }
 
 impl Workload for Srad {
+    fn scale(&self) -> Scale {
+        self.scale
+    }
+
     fn name(&self) -> String {
         paper_label("srad", self.threads)
     }
@@ -138,8 +143,8 @@ mod tests {
         // values is unreliable; instead check smoothing directly on a tiny
         // hand-rolled case through the public kernel with more iterations
         // producing a mean closer to 100.
-        let rough = Srad { threads: 1, rows: 24, cols: 24, iterations: 1, lambda: 0.5 };
-        let smooth = Srad { threads: 1, rows: 24, cols: 24, iterations: 6, lambda: 0.5 };
+        let rough = Srad { threads: 1, scale: Scale::Test, rows: 24, cols: 24, iterations: 1, lambda: 0.5 };
+        let smooth = Srad { threads: 1, scale: Scale::Test, rows: 24, cols: 24, iterations: 6, lambda: 0.5 };
         let m1 = rough.diffuse(&mut NullSink, 9);
         let m2 = smooth.diffuse(&mut NullSink, 9);
         assert!((m2 - 100.0).abs() <= (m1 - 100.0).abs() + 0.5);

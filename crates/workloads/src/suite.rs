@@ -1,12 +1,12 @@
 //! Pre-assembled benchmark suites matching the paper's configurations.
 
-use crate::spec::{Scale, Workload, WorkloadId};
+use crate::spec::{BoxedWorkload, Scale, WorkloadId};
 
 /// The paper's 14 characterization configurations (§IV-C, Figs. 4/7/8/9):
 /// 5 compute-intensive kernels × {1, 8} threads, plus memcached, pagerank,
 /// bfs and bc (8 threads each).
-pub fn paper_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
-    let mut suite: Vec<Box<dyn Workload>> = Vec::new();
+pub fn paper_suite(scale: Scale) -> Vec<BoxedWorkload> {
+    let mut suite: Vec<BoxedWorkload> = Vec::new();
     for id in [
         WorkloadId::Backprop,
         WorkloadId::Kmeans,
@@ -25,7 +25,7 @@ pub fn paper_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
 
 /// The paper suite plus the Fig. 13 extras: both lulesh builds and the
 /// random data-pattern micro-benchmark.
-pub fn full_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+pub fn full_suite(scale: Scale) -> Vec<BoxedWorkload> {
     let mut suite = paper_suite(scale);
     suite.push(WorkloadId::LuleshO2.instantiate(8, scale));
     suite.push(WorkloadId::LuleshF.instantiate(8, scale));
@@ -34,7 +34,7 @@ pub fn full_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
 }
 
 /// Only the data-pattern micro-benchmarks (conventional profiling stressors).
-pub fn micro_suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+pub fn micro_suite(scale: Scale) -> Vec<BoxedWorkload> {
     vec![
         WorkloadId::MicroRandom.instantiate(1, scale),
         WorkloadId::MicroZeros.instantiate(1, scale),

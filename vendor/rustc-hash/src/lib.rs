@@ -1,0 +1,116 @@
+//! Vendored minimal stand-in for `rustc-hash`: the rustc-derived
+//! multiply-xor hasher, reimplemented because the `rustc-hash`/`ahash`
+//! crates are unavailable offline.
+//!
+//! Every hot-path map in this workspace is keyed by values the simulator or
+//! the instrumentation layer generated itself (word indices, 32-bit store
+//! values, cell keys), so HashDoS resistance — the point of SipHash, the
+//! std default — buys nothing, while FxHash's two-instruction mix removes
+//! the hasher from the profile entirely. Used by `wade-dram` (collision
+//! maps), `wade-trace` (reuse/entropy tracking) and `wade-core` (profile
+//! cache).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher (word-at-a-time rotate-xor-multiply).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add(value);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add(u64::from(value));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add(value as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip_and_distinct_hashes() {
+        let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            map.insert(i * 8, i);
+        }
+        assert_eq!(map.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(map.get(&(i * 8)), Some(&i));
+        }
+        let mut a = FxHasher::default();
+        a.write_u64(1);
+        let mut b = FxHasher::default();
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_writes_match_padding_semantics() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh");
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_le_bytes(*b"abcdefgh"));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        for v in [3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3] {
+            set.insert(v);
+        }
+        assert_eq!(set.len(), 7);
+    }
+}
