@@ -1,8 +1,12 @@
 //! Learner benchmarks: training time, prediction latency (the paper's
-//! "predict within 300 ms" claim, §VI.B) and the KNN k ablation.
+//! "predict within 300 ms" claim, §VI.B), the KNN k ablation, and the
+//! parallel training/evaluation engine (forest fan-out, grid dispatch).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use wade_ml::{ForestTrainer, KnnTrainer, Regressor, SvrTrainer, Trainer};
+use std::sync::Arc;
+use wade_ml::{
+    Dataset, EvalGrid, ForestTrainer, KnnTrainer, Regressor, SharedModel, SvrTrainer, Trainer,
+};
 
 /// A campaign-shaped synthetic dataset: 140 samples × `dim` features with a
 /// smooth nonlinear target (mirrors a per-rank WER dataset in log space).
@@ -68,5 +72,72 @@ fn bench_knn_k_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training, bench_predict_latency, bench_knn_k_sweep);
+/// The per-tree fan-out: the same 100-tree paper-default forest on a
+/// 1-thread pool versus the ambient pool (byte-identical output; see
+/// `tests/ml_parallel.rs` for the identity assertion).
+fn bench_forest_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_train");
+    let (x, y) = synthetic(7);
+    let one = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    group.bench_function("single_thread", |b| {
+        b.iter(|| one.install(|| black_box(ForestTrainer::paper_default().train(&x, &y))))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(ForestTrainer::paper_default().train(&x, &y)))
+    });
+    group.finish();
+}
+
+/// The evaluation grid: 3 learners × 2 grouped datasets, all folds in one
+/// dispatch, versus the fold-at-a-time serial shape.
+fn bench_eval_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_grid");
+    let dataset = |offset: f64| {
+        let (x, y) = synthetic(7);
+        let mut d = Dataset::new(7);
+        for (i, (row, t)) in x.into_iter().zip(y).enumerate() {
+            d.push(row, t + offset, format!("g{}", i % 7));
+        }
+        d
+    };
+    let build_grid = || {
+        let mut grid = EvalGrid::new();
+        grid.add_trainer(
+            0,
+            Box::new(|x: &[Vec<f64>], y: &[f64]| {
+                Arc::new(KnnTrainer::paper_default().train(x, y)) as SharedModel
+            }),
+        );
+        grid.add_trainer(
+            1,
+            Box::new(|x: &[Vec<f64>], y: &[f64]| {
+                Arc::new(SvrTrainer::paper_default().train(x, y)) as SharedModel
+            }),
+        );
+        grid.add_trainer(
+            2,
+            Box::new(|x: &[Vec<f64>], y: &[f64]| {
+                Arc::new(ForestTrainer::new(20).train(x, y)) as SharedModel
+            }),
+        );
+        grid.add_dataset(0, dataset(0.0));
+        grid.add_dataset(1, dataset(0.5));
+        grid
+    };
+    let one = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    group.bench_function("dispatch_single_thread", |b| {
+        b.iter(|| one.install(|| black_box(build_grid().evaluate())))
+    });
+    group.bench_function("dispatch_parallel", |b| b.iter(|| black_box(build_grid().evaluate())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_predict_latency,
+    bench_knn_k_sweep,
+    bench_forest_thread_scaling,
+    bench_eval_grid
+);
 criterion_main!(benches);

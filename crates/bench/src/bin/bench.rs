@@ -20,13 +20,20 @@
 //!
 //! Usage: `cargo run --release -p wade-bench --bin bench [output.json]`.
 
-use rand::{Rng, RngCore};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 use rand_distr::{Distribution, Poisson};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use wade_core::{Campaign, CampaignConfig, ProfileCache, SimulatedServer};
-use wade_dram::{DramDevice, DramUsageProfile, ErrorSim, OperatingPoint};
+use wade_core::{
+    build_pue_dataset, build_wer_dataset, AccuracyReport, Campaign, CampaignConfig, CampaignData,
+    EvalGrid, MlKind, ProfileCache, SimulatedServer,
+};
+use wade_dram::{DramDevice, DramUsageProfile, ErrorSim, OperatingPoint, RANK_COUNT};
+use wade_features::FeatureSet;
+use wade_ml::metrics::{mean_absolute_error_percent, mean_percentage_error};
+use wade_ml::{DecisionTree, KnnTrainer, Regressor, SvrTrainer, Trainer, TreeParams};
 use wade_workloads::{full_suite, paper_suite, Scale};
 
 fn main() {
@@ -211,6 +218,58 @@ fn main() {
         grid_single_ms / grid_parallel_ms.max(1e-9),
     ));
 
+    // The ML training/evaluation engine: the full (model × feature set ×
+    // target) accuracy grid over a Test-scale campaign. `reference` is a
+    // reconstruction of the pre-engine serial path exactly as the old
+    // consumers drove it — fig11 evaluated its WER cells (one
+    // `evaluate_wer_accuracy` call per (model, set), each rebuilding and
+    // re-splitting the per-rank datasets) and fig12 its PUE cells, with a
+    // sequential RNG stream across all forest trees and per-row serial
+    // predictions. The current engine evaluates one shared `EvalGrid` in a
+    // single pool dispatch (datasets built once, each fold split once and
+    // shared across trainers) and serves every consumer — fig11, fig12,
+    // and table3's new accuracy summary — from it for free. Byte-identity
+    // of the grid across thread counts is asserted (untimed).
+    eprintln!("[bench] ml training/evaluation grid …");
+    let ml_data = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+        .collect(&paper_suite(Scale::Test), 8);
+    let ml_reference_ms = median_ms(ref_samples, || {
+        serial_reference_wer(&ml_data); // fig11
+        serial_reference_pue(&ml_data); // fig12
+    });
+    let consume_grid = |grid: &EvalGrid| {
+        // The consumers' reads (memoized reports — cheap by design).
+        let mut acc = 0.0;
+        for kind in MlKind::ALL {
+            for set in FeatureSet::ALL {
+                acc += grid.wer_report(kind, set).average; // fig11 + table3
+                let pue = grid.pue_error(kind, set); // fig12 + table3
+                acc += if pue.is_finite() { pue } else { 0.0 };
+            }
+        }
+        std::hint::black_box(acc);
+    };
+    let one = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let ml_single_ms = median_ms(cur_samples, || {
+        one.install(|| consume_grid(&EvalGrid::evaluate(&ml_data)));
+    });
+    let ml_parallel_ms = median_ms(cur_samples, || {
+        consume_grid(&EvalGrid::evaluate(&ml_data));
+    });
+    let ml_identical = {
+        let eight = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let a = one.install(|| EvalGrid::evaluate(&ml_data));
+        let b = eight.install(|| EvalGrid::evaluate(&ml_data));
+        grids_equal(&a, &b)
+    };
+    sections.push(format!(
+        "    \"ml_training\": {{\n      \"models\": {},\n      \"feature_sets\": {},\n      \"reference_serial_ms\": {ml_reference_ms:.3},\n      \"grid_single_thread_ms\": {ml_single_ms:.3},\n      \"grid_parallel_ms\": {ml_parallel_ms:.3},\n      \"speedup_single_vs_reference\": {:.2},\n      \"speedup_parallel_vs_reference\": {:.2},\n      \"byte_identical\": {ml_identical}\n    }}",
+        MlKind::ALL.len(),
+        FeatureSet::ALL.len(),
+        ml_reference_ms / ml_single_ms.max(1e-9),
+        ml_reference_ms / ml_parallel_ms.max(1e-9),
+    ));
+
     let json = format!(
         "{{\n  \"schema\": \"wade-bench-sim/1\",\n  \"threads\": {threads},\n  \"results\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n")
@@ -302,6 +361,131 @@ impl wade_trace::AccessSink for ReferenceTracer {
     fn on_instructions(&mut self, count: u64) {
         self.instructions += count;
     }
+}
+
+/// The seed `ForestTrainer::train`, reconstructed for an honest "before"
+/// number: every tree's bootstrap and growth draws come from **one**
+/// sequential generator, so trees cannot be built independently — the
+/// parallel engine replaced this with per-tree derived seed streams. (The
+/// current `wade_ml::ForestTrainer` is the behavioural source of truth;
+/// this exists only as a baseline.)
+struct SerialForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl SerialForest {
+    fn train(x: &[Vec<f64>], y: &[f64]) -> Self {
+        let mut rng = StdRng::seed_from_u64(0x00F0_FE57);
+        let n = x.len();
+        let dim = x[0].len();
+        let mtry = ((dim as f64).sqrt().ceil() as usize).max(1);
+        let params = TreeParams { mtry, ..TreeParams::default() };
+        let trees = (0..100)
+            .map(|_| {
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                DecisionTree::grow(x, y, &idx, params, &mut rng)
+            })
+            .collect();
+        Self { trees }
+    }
+}
+
+impl Regressor for SerialForest {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+/// Serial fold-model training of the reference path: the real (serial)
+/// KNN/SVR trainers, plus the sequential-stream forest above.
+fn serial_train(kind: MlKind, x: &[Vec<f64>], y: &[f64]) -> Box<dyn Regressor> {
+    match kind {
+        MlKind::Svm => Box::new(SvrTrainer::paper_default().train(x, y)),
+        MlKind::Knn => Box::new(KnnTrainer::paper_default().train(x, y)),
+        MlKind::Rdf => Box::new(SerialForest::train(x, y)),
+    }
+}
+
+/// The pre-engine WER evaluation: rank-at-a-time, fold-at-a-time, one
+/// model per (kind, set, rank, fold) with per-row serial prediction — the
+/// historical `evaluate_wer_accuracy` loop, for all models × sets.
+fn serial_reference_wer(data: &CampaignData) {
+    for kind in MlKind::ALL {
+        for set in FeatureSet::ALL {
+            let mut acc = 0.0;
+            for rank in 0..RANK_COUNT {
+                let ds = build_wer_dataset(data, set, rank);
+                if ds.len() < 6 || ds.groups().len() < 3 {
+                    continue;
+                }
+                for group in ds.groups() {
+                    let (train, test) = ds.split_leave_group_out(&group);
+                    if train.len() < 4 || test.is_empty() {
+                        continue;
+                    }
+                    let model = serial_train(kind, &train.features(), &train.targets());
+                    let preds: Vec<f64> =
+                        test.features().iter().map(|r| 10f64.powf(model.predict(r))).collect();
+                    let actuals: Vec<f64> =
+                        test.targets().iter().map(|t| 10f64.powf(*t)).collect();
+                    acc += mean_percentage_error(&preds, &actuals);
+                }
+            }
+            std::hint::black_box(acc);
+        }
+    }
+}
+
+/// The pre-engine PUE evaluation (the historical `evaluate_pue_accuracy`
+/// loop), for all models × sets.
+fn serial_reference_pue(data: &CampaignData) {
+    for kind in MlKind::ALL {
+        for set in FeatureSet::ALL {
+            let ds = build_pue_dataset(data, set);
+            if ds.len() < 6 || ds.groups().len() < 3 {
+                continue;
+            }
+            let mut acc = 0.0;
+            for group in ds.groups() {
+                let (train, test) = ds.split_leave_group_out(&group);
+                if train.len() < 4 || test.is_empty() {
+                    continue;
+                }
+                let model = serial_train(kind, &train.features(), &train.targets());
+                let preds: Vec<f64> =
+                    test.features().iter().map(|r| model.predict(r).clamp(0.0, 1.0)).collect();
+                acc += mean_absolute_error_percent(&preds, &test.targets());
+            }
+            std::hint::black_box(acc);
+        }
+    }
+}
+
+/// Bitwise equality of two evaluated grids (NaN-safe: compares the bit
+/// patterns, which is the byte-identity the engine promises).
+fn grids_equal(a: &EvalGrid, b: &EvalGrid) -> bool {
+    MlKind::ALL.iter().all(|&kind| {
+        FeatureSet::ALL.iter().all(|&set| {
+            report_eq(a.wer_report(kind, set), b.wer_report(kind, set))
+                && a.pue_error(kind, set).to_bits() == b.pue_error(kind, set).to_bits()
+        })
+    })
+}
+
+fn report_eq(a: &AccuracyReport, b: &AccuracyReport) -> bool {
+    a.average.to_bits() == b.average.to_bits()
+        && a.per_rank.len() == b.per_rank.len()
+        && a.per_rank.iter().zip(b.per_rank.iter()).all(|(x, y)| match (x, y) {
+            (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+            (None, None) => true,
+            _ => false,
+        })
+        && a.per_workload.len() == b.per_workload.len()
+        && a.per_workload
+            .iter()
+            .zip(b.per_workload.iter())
+            .all(|((wa, ea), (wb, eb))| wa == wb && ea.to_bits() == eb.to_bits())
 }
 
 fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {

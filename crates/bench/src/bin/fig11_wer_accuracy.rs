@@ -5,17 +5,22 @@
 //! SVM/KNN degrade with all 249 features (overfitting: 29.3 % / 12.3 %);
 //! RDF is worst on set 1 (21.4 %) but *improves* with set 3 (12.9 %).
 
-use wade_core::{evaluate_wer_accuracy, MlKind};
+use wade_core::{EvalGrid, MlKind};
 use wade_dram::RankId;
 use wade_features::FeatureSet;
 
 fn main() {
     let data = wade_bench::full_campaign_data();
+    // One grid dispatch for every (model, set) WER cell this figure
+    // prints — the same cells table3/repro_all consume from their full
+    // grids (ARCHITECTURE.md §10). PUE cells are fig12's target, so this
+    // standalone binary leaves them out of its sub-grid.
+    let grid = EvalGrid::evaluate_targets(&data, &MlKind::ALL, &FeatureSet::ALL, true, false);
 
     for kind in MlKind::ALL {
         println!("\nFig. 11 — {kind}: error of WER estimates (%), leave-one-workload-out");
         let reports: Vec<_> =
-            FeatureSet::ALL.iter().map(|&set| evaluate_wer_accuracy(&data, kind, set)).collect();
+            FeatureSet::ALL.iter().map(|&set| grid.wer_report(kind, set)).collect();
 
         println!("per DIMM/rank (panels a-c):");
         print!("{:<14}", "rank");

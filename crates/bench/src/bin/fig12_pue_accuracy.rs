@@ -4,11 +4,16 @@
 //! Paper shape: KNN/RDF with input set 2 are best (4.1 % / 5.5 %), roughly
 //! 3× better than SVM's best (12.3 % with set 1).
 
-use wade_core::{evaluate_pue_accuracy, MlKind};
+use wade_core::{EvalGrid, MlKind};
 use wade_features::FeatureSet;
 
 fn main() {
     let data = wade_bench::full_campaign_data();
+    // One grid dispatch for every (model, set) PUE cell this figure
+    // prints — the same cells table3/repro_all consume from their full
+    // grids (ARCHITECTURE.md §10). WER cells are fig11's target, so this
+    // standalone binary leaves them out of its sub-grid.
+    let grid = EvalGrid::evaluate_targets(&data, &MlKind::ALL, &FeatureSet::ALL, false, true);
 
     println!("Fig. 12: error of P_UE estimates (percentage points), LOWO-CV");
     print!("{:<8}", "model");
@@ -20,7 +25,7 @@ fn main() {
     for kind in MlKind::ALL {
         print!("{:<8}", kind.label());
         for set in FeatureSet::ALL {
-            let err = evaluate_pue_accuracy(&data, kind, set);
+            let err = grid.pue_error(kind, set);
             if err.is_finite() && best.is_none_or(|(_, _, b)| err < b) {
                 best = Some((kind, set, err));
             }

@@ -45,7 +45,7 @@ pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRow, Characte
 pub use collect::{build_pue_dataset, build_wer_dataset, op_augmented_row, MIN_CE_COUNT};
 pub use error::WadeError;
 pub use model::{train_error_model, AnyModel, ErrorModel, MlKind};
-pub use predictor::{evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport};
+pub use predictor::{evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport, EvalGrid};
 pub use profile_cache::ProfileCache;
 pub use server::{ProfiledWorkload, SimulatedServer};
 pub use thermal::{PidController, ThermalTestbed};

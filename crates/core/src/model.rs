@@ -43,6 +43,26 @@ impl MlKind {
         }
     }
 
+    /// Trains a shared (`Arc`) regressor of this kind — the form the
+    /// parallel evaluation grid memoizes and hands out across threads.
+    pub fn train_shared(&self, x: &[Vec<f64>], y: &[f64]) -> wade_ml::SharedModel {
+        match self.train_any(x, y) {
+            AnyModel::Knn(m) => std::sync::Arc::new(m),
+            AnyModel::Svr(m) => std::sync::Arc::new(m),
+            AnyModel::Rdf(m) => std::sync::Arc::new(m),
+        }
+    }
+
+    /// The stable trainer key of this kind inside evaluation-grid memo
+    /// tables (presentation-order index).
+    pub(crate) fn grid_key(&self) -> u64 {
+        match self {
+            MlKind::Svm => 0,
+            MlKind::Knn => 1,
+            MlKind::Rdf => 2,
+        }
+    }
+
     /// Trains a serializable regressor of this kind.
     pub fn train_any(&self, x: &[Vec<f64>], y: &[f64]) -> AnyModel {
         match self {

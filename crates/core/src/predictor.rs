@@ -1,11 +1,26 @@
 //! Leave-one-workload-out accuracy evaluation (Figs. 11 and 12).
+//!
+//! The paper's accuracy results are a *grid*: every model family × input
+//! feature set × target (per-rank WER, server PUE), each cell
+//! cross-validated leave-one-workload-out. [`EvalGrid`] evaluates that
+//! whole grid in **one dispatch** on the shared rayon pool (fold units fan
+//! out through `wade_ml::EvalGrid`, trained models are memoized per
+//! `(model, target dataset, held-out workload)` key) and serves every
+//! consumer — `fig11_wer_accuracy`, `fig12_pue_accuracy`,
+//! `table3_feature_sets`, `repro_all` — from the same evaluation instead
+//! of three independent re-trainings. Results are byte-identical at any
+//! thread count (`tests/ml_parallel.rs`) and to the historical
+//! fold-at-a-time loops ([`evaluate_wer_accuracy`] /
+//! [`evaluate_pue_accuracy`] are now thin single-cell views of the grid).
 
 use crate::campaign::CampaignData;
 use crate::collect::{build_pue_dataset, build_wer_dataset};
 use crate::model::MlKind;
+use std::collections::HashMap;
 use wade_dram::RANK_COUNT;
 use wade_features::FeatureSet;
 use wade_ml::metrics::{mean_absolute_error_percent, mean_percentage_error};
+use wade_ml::GroupCvOutcome;
 
 /// Accuracy summary of one (learner, feature set) combination.
 #[derive(Debug, Clone)]
@@ -23,35 +38,170 @@ pub struct AccuracyReport {
     pub average: f64,
 }
 
-/// Evaluates WER prediction accuracy with the paper's protocol: per rank,
-/// leave one workload's samples out, train on the rest, predict the
-/// held-out samples, report the mean percentage error of the *linear* WER
-/// (predictions and targets are log₁₀-space internally).
-pub fn evaluate_wer_accuracy(data: &CampaignData, kind: MlKind, set: FeatureSet) -> AccuracyReport {
+/// The shared model-evaluation grid: every requested (learner × feature
+/// set) cell for the WER and PUE targets, evaluated in one parallel
+/// dispatch over the campaign data (module docs have the full contract).
+pub struct EvalGrid {
+    wer: HashMap<(MlKind, FeatureSet), AccuracyReport>,
+    pue: HashMap<(MlKind, FeatureSet), f64>,
+    trainings: usize,
+    cache_hits: usize,
+}
+
+/// Dataset memo key of (set, rank) WER cells / the PUE cell, stable across
+/// grids: 16 slots per feature set, slot 15 = PUE.
+const _: () = assert!(RANK_COUNT <= 15, "rank keys would collide with the PUE slot");
+
+fn wer_key(set: FeatureSet, rank: usize) -> u64 {
+    set_index(set) * 16 + rank as u64
+}
+
+fn pue_key(set: FeatureSet) -> u64 {
+    set_index(set) * 16 + 15
+}
+
+fn set_index(set: FeatureSet) -> u64 {
+    FeatureSet::ALL.iter().position(|&s| s == set).expect("unknown feature set") as u64
+}
+
+impl EvalGrid {
+    /// Evaluates the full paper grid — all three learners × all three
+    /// input sets × both targets — in one pool dispatch.
+    pub fn evaluate(data: &CampaignData) -> Self {
+        Self::evaluate_targets(data, &MlKind::ALL, &FeatureSet::ALL, true, true)
+    }
+
+    /// Evaluates a sub-grid (the requested learners × sets; WER and/or PUE
+    /// targets). [`EvalGrid::evaluate`] is the full-grid convenience.
+    pub fn evaluate_targets(
+        data: &CampaignData,
+        kinds: &[MlKind],
+        sets: &[FeatureSet],
+        wer: bool,
+        pue: bool,
+    ) -> Self {
+        // Register trainers and datasets on the wade-ml grid harness. The
+        // fold-level guards replicate the historical evaluation protocol
+        // exactly: datasets need ≥ 6 samples over ≥ 3 workloads, folds
+        // need ≥ 4 training samples.
+        let mut grid = wade_ml::EvalGrid::with_min_train(4);
+        for &kind in kinds {
+            grid.add_trainer(
+                kind.grid_key(),
+                Box::new(move |x: &[Vec<f64>], y: &[f64]| kind.train_shared(x, y)),
+            );
+        }
+        // Datasets failing the guard are simply not registered; they
+        // surface as absent fold entries, which the assembly below reads
+        // back as `per_rank: None` / a `NaN` PUE error.
+        for &set in sets {
+            if wer {
+                for rank in 0..RANK_COUNT {
+                    let ds = build_wer_dataset(data, set, rank);
+                    if ds.len() >= 6 && ds.groups().len() >= 3 {
+                        grid.add_dataset(wer_key(set, rank), ds);
+                    }
+                }
+            }
+            if pue {
+                let ds = build_pue_dataset(data, set);
+                if ds.len() >= 6 && ds.groups().len() >= 3 {
+                    grid.add_dataset(pue_key(set), ds);
+                }
+            }
+        }
+
+        // One dispatch over every (learner, dataset, fold) unit.
+        let cells = grid.evaluate();
+        let mut folds: HashMap<(u64, u64), Vec<GroupCvOutcome>> = HashMap::new();
+        for cell in cells {
+            folds.insert((cell.trainer, cell.dataset), cell.folds);
+        }
+
+        let mut wer_reports = HashMap::new();
+        let mut pue_errors = HashMap::new();
+        for &kind in kinds {
+            for &set in sets {
+                if wer {
+                    let report = assemble_wer_report(kind, set, &folds);
+                    wer_reports.insert((kind, set), report);
+                }
+                if pue {
+                    let err = match folds.get(&(kind.grid_key(), pue_key(set))) {
+                        Some(pue_folds) => assemble_pue_error(pue_folds),
+                        None => f64::NAN,
+                    };
+                    pue_errors.insert((kind, set), err);
+                }
+            }
+        }
+        Self {
+            wer: wer_reports,
+            pue: pue_errors,
+            trainings: grid.cache().trainings(),
+            cache_hits: grid.cache().hits(),
+        }
+    }
+
+    /// The WER accuracy report of one evaluated cell (Fig. 11's view).
+    ///
+    /// # Panics
+    /// Panics if the cell was outside the evaluated sub-grid.
+    pub fn wer_report(&self, kind: MlKind, set: FeatureSet) -> &AccuracyReport {
+        self.wer
+            .get(&(kind, set))
+            .unwrap_or_else(|| panic!("WER cell {kind}/{set} not evaluated by this grid"))
+    }
+
+    /// The PUE error of one evaluated cell in percentage points (Fig. 12's
+    /// axis); `NaN` when the campaign lacked trainable PUE samples.
+    ///
+    /// # Panics
+    /// Panics if the cell was outside the evaluated sub-grid.
+    pub fn pue_error(&self, kind: MlKind, set: FeatureSet) -> f64 {
+        *self
+            .pue
+            .get(&(kind, set))
+            .unwrap_or_else(|| panic!("PUE cell {kind}/{set} not evaluated by this grid"))
+    }
+
+    /// Number of fold models trained during the dispatch.
+    pub fn trainings(&self) -> usize {
+        self.trainings
+    }
+
+    /// Number of fold models served from the memo instead of re-trained.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+}
+
+/// Folds → Fig. 11 report, replicating the historical serial loop: rank
+/// errors in (rank, held-out group) order, workload errors aggregated
+/// rank-major in first-appearance order, linear-space MPE.
+fn assemble_wer_report(
+    kind: MlKind,
+    set: FeatureSet,
+    folds: &HashMap<(u64, u64), Vec<GroupCvOutcome>>,
+) -> AccuracyReport {
     let mut per_rank: Vec<Option<f64>> = Vec::with_capacity(RANK_COUNT);
     let mut workload_errs: Vec<(String, Vec<f64>)> = Vec::new();
-
     for rank in 0..RANK_COUNT {
-        let ds = build_wer_dataset(data, set, rank);
-        if ds.len() < 6 || ds.groups().len() < 3 {
+        let Some(rank_folds) = folds.get(&(kind.grid_key(), wer_key(set, rank))) else {
             per_rank.push(None);
             continue;
-        }
+        };
         let mut rank_errs = Vec::new();
-        for group in ds.groups() {
-            let (train, test) = ds.split_leave_group_out(&group);
-            if train.len() < 4 || test.is_empty() {
-                continue;
-            }
-            let model = kind.train_boxed(&train.features(), &train.targets());
-            let preds: Vec<f64> =
-                test.features().iter().map(|r| 10f64.powf(model.predict(r))).collect();
-            let actuals: Vec<f64> = test.targets().iter().map(|t| 10f64.powf(*t)).collect();
+        for fold in rank_folds {
+            // Predictions and targets are log₁₀(WER); the paper reports the
+            // MPE of the *linear* rate.
+            let preds: Vec<f64> = fold.predictions.iter().map(|p| 10f64.powf(*p)).collect();
+            let actuals: Vec<f64> = fold.actuals.iter().map(|t| 10f64.powf(*t)).collect();
             let mpe = mean_percentage_error(&preds, &actuals);
             rank_errs.push(mpe);
-            match workload_errs.iter_mut().find(|(w, _)| *w == group) {
+            match workload_errs.iter_mut().find(|(w, _)| *w == fold.group) {
                 Some((_, v)) => v.push(mpe),
-                None => workload_errs.push((group.clone(), vec![mpe])),
+                None => workload_errs.push((fold.group.clone(), vec![mpe])),
             }
         }
         per_rank.push(if rank_errs.is_empty() {
@@ -77,25 +227,37 @@ pub fn evaluate_wer_accuracy(data: &CampaignData, kind: MlKind, set: FeatureSet)
     AccuracyReport { kind, set, per_rank, per_workload, average }
 }
 
+/// Folds → Fig. 12 number: per-fold MAE of the clamped probability, in
+/// percentage points, averaged over folds.
+fn assemble_pue_error(folds: &[GroupCvOutcome]) -> f64 {
+    let errs: Vec<f64> = folds
+        .iter()
+        .map(|fold| {
+            let preds: Vec<f64> =
+                fold.predictions.iter().map(|p| p.clamp(0.0, 1.0)).collect();
+            mean_absolute_error_percent(&preds, &fold.actuals)
+        })
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+/// Evaluates WER prediction accuracy with the paper's protocol: per rank,
+/// leave one workload's samples out, train on the rest, predict the
+/// held-out samples, report the mean percentage error of the *linear* WER
+/// (predictions and targets are log₁₀-space internally).
+///
+/// A single-cell view of [`EvalGrid`]; evaluating many cells through one
+/// [`EvalGrid::evaluate`] shares the dispatch and the model memo.
+pub fn evaluate_wer_accuracy(data: &CampaignData, kind: MlKind, set: FeatureSet) -> AccuracyReport {
+    EvalGrid::evaluate_targets(data, &[kind], &[set], true, false).wer_report(kind, set).clone()
+}
+
 /// Evaluates PUE prediction accuracy: leave-one-workload-out on the
 /// server-level PUE dataset; error in percentage points (Fig. 12's axis).
+///
+/// A single-cell view of [`EvalGrid`], like [`evaluate_wer_accuracy`].
 pub fn evaluate_pue_accuracy(data: &CampaignData, kind: MlKind, set: FeatureSet) -> f64 {
-    let ds = build_pue_dataset(data, set);
-    if ds.len() < 6 || ds.groups().len() < 3 {
-        return f64::NAN;
-    }
-    let mut errs = Vec::new();
-    for group in ds.groups() {
-        let (train, test) = ds.split_leave_group_out(&group);
-        if train.len() < 4 || test.is_empty() {
-            continue;
-        }
-        let model = kind.train_boxed(&train.features(), &train.targets());
-        let preds: Vec<f64> =
-            test.features().iter().map(|r| model.predict(r).clamp(0.0, 1.0)).collect();
-        errs.push(mean_absolute_error_percent(&preds, &test.targets()));
-    }
-    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+    EvalGrid::evaluate_targets(data, &[kind], &[set], false, true).pue_error(kind, set)
 }
 
 #[cfg(test)]
@@ -142,5 +304,32 @@ mod tests {
         let d = data();
         let knn = evaluate_wer_accuracy(&d, MlKind::Knn, FeatureSet::Set1);
         assert!(knn.average < 200.0, "KNN average MPE {}", knn.average);
+    }
+
+    #[test]
+    fn grid_cells_match_the_single_cell_views() {
+        // The shared grid and the historical per-cell entry points must be
+        // the same numbers, bit for bit.
+        let d = data();
+        let grid = EvalGrid::evaluate(&d);
+        for kind in [MlKind::Knn, MlKind::Rdf] {
+            let solo = evaluate_wer_accuracy(&d, kind, FeatureSet::Set1);
+            let cell = grid.wer_report(kind, FeatureSet::Set1);
+            assert_eq!(solo.average.to_bits(), cell.average.to_bits());
+            assert_eq!(solo.per_workload, cell.per_workload);
+            let pue_solo = evaluate_pue_accuracy(&d, kind, FeatureSet::Set2);
+            let pue_cell = grid.pue_error(kind, FeatureSet::Set2);
+            assert_eq!(pue_solo.to_bits(), pue_cell.to_bits());
+        }
+    }
+
+    #[test]
+    fn grid_counts_one_training_per_fold_unit() {
+        let d = data();
+        let grid = EvalGrid::evaluate(&d);
+        assert!(grid.trainings() > 0);
+        // One dispatch covers every unit exactly once: the memo never pays
+        // a redundant training inside a single evaluation.
+        assert_eq!(grid.cache_hits(), 0);
     }
 }

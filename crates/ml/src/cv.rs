@@ -1,7 +1,13 @@
 //! Leave-one-group-out cross-validation (the paper's §III-F protocol).
+//!
+//! Folds are independent — each trains on its own copy of the remaining
+//! groups — so [`leave_one_group_out`] fans them out on the shared rayon
+//! pool and merges outcomes back in group order. Output is byte-identical
+//! at any thread count (`tests/ml_parallel.rs`).
 
 use crate::dataset::Dataset;
 use crate::model::{Regressor, Trainer};
+use rayon::prelude::*;
 
 /// Per-group cross-validation outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,19 +32,26 @@ impl GroupCvOutcome {
 /// "copy all samples except the specific workload's into the training set"
 /// loop (Fig. 3, right).
 ///
+/// Folds run in parallel on the shared rayon pool; outcomes come back in
+/// group (first-appearance) order, byte-identical at any thread count.
+///
 /// Groups whose removal would leave an empty training set are skipped.
-pub fn leave_one_group_out<T: Trainer>(data: &Dataset, trainer: &T) -> Vec<GroupCvOutcome> {
-    let mut outcomes = Vec::new();
-    for group in data.groups() {
-        let (train, test) = data.split_leave_group_out(&group);
-        if train.is_empty() || test.is_empty() {
-            continue;
-        }
-        let model = trainer.train(&train.features(), &train.targets());
-        let predictions = model.predict_batch(&test.features());
-        outcomes.push(GroupCvOutcome { group, predictions, actuals: test.targets() });
-    }
-    outcomes
+pub fn leave_one_group_out<T: Trainer + Sync>(data: &Dataset, trainer: &T) -> Vec<GroupCvOutcome> {
+    data.groups()
+        .into_par_iter()
+        .map(|group| {
+            let (train, test) = data.split_leave_group_out(&group);
+            if train.is_empty() || test.is_empty() {
+                return None;
+            }
+            let model = trainer.train(&train.features(), &train.targets());
+            let predictions = model.predict_batch(&test.features());
+            Some(GroupCvOutcome { group, predictions, actuals: test.targets() })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]

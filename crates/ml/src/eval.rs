@@ -1,0 +1,308 @@
+//! The parallel evaluation grid: every (trainer × dataset × fold) unit of a
+//! model-comparison study in **one pool dispatch**, with trained models
+//! memoized per `(trainer, dataset, fold)` key.
+//!
+//! The paper's headline results come from a systematic grid — model
+//! families × input feature sets × targets, each cell leave-one-group-out
+//! cross-validated (§III-F). Evaluated naively that is a triple-nested
+//! serial loop whose innermost body (training) is the expensive part, and
+//! whose consumers (figure binaries, summary tables) re-train overlapping
+//! cells. [`EvalGrid`] flattens the whole study into independent fold
+//! units, fans them out on the shared rayon pool and merges results back in
+//! deterministic (trainer-major, dataset, fold) order — byte-identical at
+//! any thread count, because every unit is a pure function of its inputs
+//! (trainers must be deterministic, as the [`Trainer`](crate::Trainer)
+//! contract requires).
+//!
+//! [`ModelCache`] is the memo: a fold's trained model is keyed by
+//! `(trainer key, dataset key, held-out group)`, so consumers that request
+//! overlapping cells after the dispatch (or interleaved smaller grids)
+//! never pay for a training twice. Since training is deterministic, a memo
+//! hit is bit-identical to a fresh training.
+//!
+//! Domain-specific wiring (which datasets exist, how fold predictions
+//! aggregate into accuracy numbers) lives one layer up, in
+//! `wade-core::EvalGrid`.
+
+use crate::cv::GroupCvOutcome;
+use crate::dataset::Dataset;
+use crate::model::Regressor;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A trained model shared between evaluation units and consumers.
+pub type SharedModel = Arc<dyn Regressor + Send + Sync>;
+
+/// A boxed training function: `(features, targets) → model`. Must be
+/// deterministic (same inputs, same model) for the grid's byte-identity
+/// guarantee to hold.
+pub type TrainFn<'a> = Box<dyn Fn(&[Vec<f64>], &[f64]) -> SharedModel + Sync + 'a>;
+
+/// Memo key of one trained fold model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Caller-chosen key identifying the trainer configuration.
+    pub trainer: u64,
+    /// Caller-chosen key identifying the dataset (target × feature view).
+    pub dataset: u64,
+    /// The held-out group of this fold (empty string = trained on all).
+    pub fold: String,
+}
+
+/// Concurrent memo of trained models, keyed by [`ModelKey`].
+#[derive(Default)]
+pub struct ModelCache {
+    map: Mutex<HashMap<ModelKey, SharedModel>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized model for `key`, training it via `train` on a
+    /// miss. Training runs outside the lock: a racing duplicate costs one
+    /// redundant training but never stalls the pool, and because training
+    /// is deterministic the result is the same whichever insertion wins.
+    pub fn get_or_train(&self, key: ModelKey, train: impl FnOnce() -> SharedModel) -> SharedModel {
+        if let Some(model) = self.map.lock().expect("model cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return model.clone();
+        }
+        let model = train();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().expect("model cache poisoned").entry(key).or_insert(model).clone()
+    }
+
+    /// Number of memo hits served so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of trainings performed (memo misses).
+    pub fn trainings(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct models currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("model cache poisoned").len()
+    }
+
+    /// True when nothing has been trained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One evaluated grid cell: a trainer LOGO-cross-validated on a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The trainer key of this cell.
+    pub trainer: u64,
+    /// The dataset key of this cell.
+    pub dataset: u64,
+    /// Per-fold outcomes, in group (first-appearance) order. Folds whose
+    /// training split fell below the grid's `min_train` floor are absent.
+    pub folds: Vec<GroupCvOutcome>,
+}
+
+/// The grid harness: registered trainers × registered datasets, evaluated
+/// with leave-one-group-out CV in one parallel dispatch (see the module
+/// docs for the determinism contract).
+pub struct EvalGrid<'a> {
+    trainers: Vec<(u64, TrainFn<'a>)>,
+    datasets: Vec<(u64, Dataset)>,
+    min_train: usize,
+    cache: ModelCache,
+}
+
+impl<'a> EvalGrid<'a> {
+    /// An empty grid with no training-fold floor (`min_train = 1`).
+    pub fn new() -> Self {
+        Self::with_min_train(1)
+    }
+
+    /// An empty grid that skips folds whose training split has fewer than
+    /// `min_train` samples (the paper-protocol guard one layer up).
+    pub fn with_min_train(min_train: usize) -> Self {
+        Self {
+            trainers: Vec::new(),
+            datasets: Vec::new(),
+            min_train: min_train.max(1),
+            cache: ModelCache::new(),
+        }
+    }
+
+    /// Registers a trainer under a caller-chosen key.
+    pub fn add_trainer(&mut self, key: u64, train: TrainFn<'a>) {
+        self.trainers.push((key, train));
+    }
+
+    /// Registers a dataset under a caller-chosen key.
+    pub fn add_dataset(&mut self, key: u64, dataset: Dataset) {
+        self.datasets.push((key, dataset));
+    }
+
+    /// The model memo (hit/training counters included).
+    pub fn cache(&self) -> &ModelCache {
+        &self.cache
+    }
+
+    /// Evaluates every (trainer × dataset × fold) cell in one dispatch on
+    /// the shared rayon pool. The parallel unit is a (dataset, fold) pair:
+    /// the train/test split is materialized once and shared by all
+    /// registered trainers (splitting clones the feature matrix, so
+    /// per-trainer units would redo that work T times). Cells come back
+    /// trainer-major in registration order; fold outcomes in group order.
+    /// Byte-identical at any thread count.
+    pub fn evaluate(&self) -> Vec<CellOutcome> {
+        // Flatten the study into independent (dataset, fold) units.
+        let mut units: Vec<(usize, String)> = Vec::new();
+        for (di, (_, ds)) in self.datasets.iter().enumerate() {
+            for group in ds.groups() {
+                units.push((di, group));
+            }
+        }
+        // Per unit: one outcome slot per trainer.
+        let mut outcomes: Vec<Vec<Option<GroupCvOutcome>>> =
+            units.par_iter().map(|(di, group)| self.run_unit(*di, group)).collect();
+
+        // Order-stable merge back into trainer-major cells, consuming the
+        // outcome slots (no re-clone of fold predictions). Dataset di's
+        // units occupy a contiguous run of the unit list.
+        let mut dataset_start = Vec::with_capacity(self.datasets.len());
+        let mut at = 0;
+        for (_, ds) in &self.datasets {
+            dataset_start.push(at);
+            at += ds.groups().len();
+        }
+        let mut cells: Vec<CellOutcome> =
+            Vec::with_capacity(self.trainers.len() * self.datasets.len());
+        for (ti, (tkey, _)) in self.trainers.iter().enumerate() {
+            for (di, (dkey, ds)) in self.datasets.iter().enumerate() {
+                let start = dataset_start[di];
+                let folds = outcomes[start..start + ds.groups().len()]
+                    .iter_mut()
+                    .filter_map(|unit| unit[ti].take())
+                    .collect();
+                cells.push(CellOutcome { trainer: *tkey, dataset: *dkey, folds });
+            }
+        }
+        cells
+    }
+
+    /// One (dataset, fold) unit: split once, gate on the training floor,
+    /// then train every registered trainer through the memo and predict
+    /// the held-out samples.
+    fn run_unit(&self, di: usize, group: &str) -> Vec<Option<GroupCvOutcome>> {
+        let (dkey, ds) = &self.datasets[di];
+        let (train, test) = ds.split_leave_group_out(group);
+        if train.len() < self.min_train || test.is_empty() {
+            return vec![None; self.trainers.len()];
+        }
+        let train_x = train.features();
+        let train_y = train.targets();
+        let test_x = test.features();
+        let actuals = test.targets();
+        self.trainers
+            .iter()
+            .map(|(tkey, train_fn)| {
+                let key =
+                    ModelKey { trainer: *tkey, dataset: *dkey, fold: group.to_string() };
+                let model = self.cache.get_or_train(key, || train_fn(&train_x, &train_y));
+                Some(GroupCvOutcome {
+                    group: group.to_string(),
+                    predictions: model.predict_batch(&test_x),
+                    actuals: actuals.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl Default for EvalGrid<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnTrainer;
+    use crate::model::Trainer;
+
+    fn dataset(offset: f64) -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..24 {
+            let x = (i % 8) as f64;
+            d.push(vec![x], 3.0 * x + offset, format!("g{}", i % 4));
+        }
+        d
+    }
+
+    fn knn_grid(min_train: usize) -> EvalGrid<'static> {
+        let mut grid = EvalGrid::with_min_train(min_train);
+        for k in [1u64, 3] {
+            grid.add_trainer(
+                k,
+                Box::new(move |x: &[Vec<f64>], y: &[f64]| {
+                    Arc::new(KnnTrainer::new(k as usize).train(x, y)) as SharedModel
+                }),
+            );
+        }
+        grid.add_dataset(0, dataset(0.0));
+        grid.add_dataset(1, dataset(10.0));
+        grid
+    }
+
+    #[test]
+    fn grid_covers_every_cell_and_fold() {
+        let grid = knn_grid(1);
+        let cells = grid.evaluate();
+        assert_eq!(cells.len(), 4, "2 trainers × 2 datasets");
+        for cell in &cells {
+            assert_eq!(cell.folds.len(), 4, "one outcome per group");
+            let tested: usize = cell.folds.iter().map(|f| f.predictions.len()).sum();
+            assert_eq!(tested, 24);
+        }
+        // One training per (trainer, dataset, fold) — nothing trained twice.
+        assert_eq!(grid.cache().trainings(), 16);
+        assert_eq!(grid.cache().hits(), 0);
+    }
+
+    #[test]
+    fn grid_matches_fold_at_a_time_cv() {
+        let grid = knn_grid(1);
+        let cells = grid.evaluate();
+        let reference = crate::cv::leave_one_group_out(&dataset(0.0), &KnnTrainer::new(1));
+        assert_eq!(cells[0].folds, reference);
+    }
+
+    #[test]
+    fn memo_serves_repeat_evaluations() {
+        let grid = knn_grid(1);
+        grid.evaluate();
+        let trained = grid.cache().trainings();
+        let again = grid.evaluate();
+        assert_eq!(grid.cache().trainings(), trained, "no re-training on the second pass");
+        assert_eq!(grid.cache().hits(), trained);
+        assert_eq!(again.len(), 4);
+    }
+
+    #[test]
+    fn min_train_floor_skips_thin_folds() {
+        // 4 groups × 6 samples: leaving one group out trains on 18, so a
+        // floor of 19 skips every fold.
+        let grid = knn_grid(19);
+        let cells = grid.evaluate();
+        assert!(cells.iter().all(|c| c.folds.is_empty()));
+        assert_eq!(grid.cache().trainings(), 0);
+    }
+}

@@ -1,9 +1,18 @@
 //! Random decision forests: bagged CART trees with feature subsampling.
+//!
+//! Training follows the same determinism contract as the DRAM simulator's
+//! parallel fan-out (`wade-dram::sim`): every tree derives its own seed
+//! stream from `(forest seed, tree index)` via [`tree_seed`]'s SplitMix64
+//! mix — never from a shared sequential generator — so trees are
+//! independent units that fan out on the shared rayon pool and merge back
+//! in index order. The trained forest is byte-identical at any thread
+//! count (`tests/ml_parallel.rs` pins this).
 
 use crate::model::{validate_training_input, Regressor, Trainer};
 use crate::tree::{DecisionTree, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Forest trainer.
@@ -37,7 +46,6 @@ impl Trainer for ForestTrainer {
     fn train(&self, x: &[Vec<f64>], y: &[f64]) -> ForestRegressor {
         let dim = validate_training_input(x, y);
         let n = x.len();
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let mtry = if self.params.mtry == 0 {
             ((dim as f64).sqrt().ceil() as usize).max(1)
         } else {
@@ -45,8 +53,15 @@ impl Trainer for ForestTrainer {
         };
         let params = TreeParams { mtry, ..self.params };
 
+        // Per-tree derived seed streams (see the module docs): each tree's
+        // bootstrap and feature subsampling come from its own generator, so
+        // the trees are order-independent parallel units and the vendored
+        // pool's input-order merge makes the ensemble byte-identical on 1
+        // and N threads.
         let trees = (0..self.trees)
-            .map(|_| {
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(tree_seed(self.seed, t as u64));
                 // Bootstrap sample (with replacement).
                 let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
                 DecisionTree::grow(x, y, &idx, params, &mut rng)
@@ -54,6 +69,17 @@ impl Trainer for ForestTrainer {
             .collect();
         ForestRegressor { trees }
     }
+}
+
+/// The derived seed of tree `t`: a SplitMix64-style mix of the forest seed
+/// and the tree index (the `(seed, unit)` domain-separation idiom of
+/// `wade-dram`'s `mix_seed`). Pure function of its inputs — reordering or
+/// parallelizing tree construction cannot change any tree's stream.
+fn tree_seed(seed: u64, t: u64) -> u64 {
+    let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t.rotate_left(17));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A trained forest: predictions average the trees.

@@ -2,6 +2,7 @@
 
 use crate::model::{validate_training_input, Regressor, Trainer};
 use crate::scale::StandardScaler;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// KNN trainer (hyper-parameter: `k`).
@@ -55,24 +56,35 @@ pub struct KnnRegressor {
 impl Regressor for KnnRegressor {
     fn predict(&self, features: &[f64]) -> f64 {
         let q = self.scaler.transform(features);
-        // Collect (distance², target) and take the k smallest.
-        let mut dist: Vec<(f64, f64)> = self
+        // Collect (distance², sample index, target) and take the k smallest
+        // under the *total* order (distance, index): the index tiebreaker
+        // makes the neighbour set — and the order weights accumulate in — a
+        // pure function of the training set, never of the selection
+        // algorithm's internal element ordering. Duplicate distances are
+        // common on gridded campaign data, so this is what keeps prediction
+        // byte-identical across refactors and parallel fan-outs.
+        let mut dist: Vec<(f64, usize, f64)> = self
             .x
             .iter()
             .zip(self.y.iter())
-            .map(|(row, &t)| {
+            .enumerate()
+            .map(|(i, (row, &t))| {
                 let d2: f64 = row.iter().zip(q.iter()).map(|(a, b)| (a - b).powi(2)).sum();
-                (d2, t)
+                (d2, i, t)
             })
             .collect();
         let k = self.k.min(dist.len());
-        dist.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).unwrap());
-        let neighbours = &dist[..k];
+        let by_distance_then_index = |a: &(f64, usize, f64), b: &(f64, usize, f64)| {
+            a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+        };
+        dist.select_nth_unstable_by(k - 1, by_distance_then_index);
+        let neighbours = &mut dist[..k];
+        neighbours.sort_unstable_by(by_distance_then_index);
 
         // Inverse-distance weighting; an exact hit dominates.
         let mut wsum = 0.0;
         let mut acc = 0.0;
-        for &(d2, t) in neighbours {
+        for &(d2, _, t) in neighbours.iter() {
             if d2 < 1e-18 {
                 return t;
             }
@@ -81,6 +93,16 @@ impl Regressor for KnnRegressor {
             acc += w * t;
         }
         acc / wsum
+    }
+
+    /// Query rows are independent, so the batch fans out on the shared
+    /// rayon pool (order-stable merge — byte-identical to the serial loop
+    /// at any thread count). Single-row batches stay inline.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.len() < 2 {
+            return rows.iter().map(|r| self.predict(r)).collect();
+        }
+        rows.par_iter().map(|r| self.predict(r)).collect()
     }
 }
 
@@ -145,5 +167,28 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         KnnTrainer::new(0);
+    }
+
+    #[test]
+    fn duplicate_distances_break_ties_on_sample_index() {
+        // Four training points all equidistant from the query, but k = 2:
+        // the neighbour set must be the two *lowest-index* samples, so the
+        // prediction is their (equal-weight) mean — not whichever pair the
+        // selection algorithm happened to leave in front.
+        let x = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0], vec![0.0, -1.0]];
+        let y = vec![10.0, 20.0, 70.0, 80.0];
+        let model = KnnTrainer::new(2).train(&x, &y);
+        let pred = model.predict(&[0.0, 0.0]);
+        assert_eq!(pred, 15.0, "expected the mean of samples 0 and 1");
+    }
+
+    #[test]
+    fn batch_prediction_matches_the_serial_loop() {
+        let (x, y) = grid_xy();
+        let model = KnnTrainer::new(4).train(&x, &y);
+        let queries: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![i as f64 * 0.31, (40 - i) as f64 * 0.27]).collect();
+        let serial: Vec<f64> = queries.iter().map(|q| model.predict(q)).collect();
+        assert_eq!(model.predict_batch(&queries), serial);
     }
 }

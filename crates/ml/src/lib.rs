@@ -14,8 +14,14 @@
 //!   feature subsampling,
 //!
 //! plus the shared machinery: [`Dataset`] with group labels,
-//! [`StandardScaler`], error metrics ([`metrics`]) and
-//! [`leave_one_group_out`] cross-validation.
+//! [`StandardScaler`], error metrics ([`metrics`]),
+//! [`leave_one_group_out`] cross-validation, and the parallel
+//! model-comparison harness ([`EvalGrid`] + [`ModelCache`] in [`eval`]).
+//!
+//! Training and evaluation follow the workspace determinism contract:
+//! forest trees and CV folds are independent units with derived seed
+//! streams that fan out on the shared rayon pool and merge in input order,
+//! so every result is byte-identical at any thread count.
 //!
 //! ```
 //! use wade_ml::{Dataset, KnnTrainer, Trainer, Regressor};
@@ -36,6 +42,7 @@
 mod baseline;
 mod cv;
 mod dataset;
+pub mod eval;
 mod forest;
 mod knn;
 pub mod metrics;
@@ -46,6 +53,7 @@ mod tree;
 
 pub use baseline::{ConstantModel, ConstantTrainer};
 pub use cv::{leave_one_group_out, GroupCvOutcome};
+pub use eval::{CellOutcome, EvalGrid, ModelCache, ModelKey, SharedModel, TrainFn};
 pub use dataset::{Dataset, Sample};
 pub use forest::{ForestRegressor, ForestTrainer};
 pub use knn::{KnnRegressor, KnnTrainer};

@@ -22,11 +22,24 @@ impl StandardScaler {
         assert!(!rows.is_empty(), "cannot fit a scaler on no data");
         let dim = rows[0].len();
         let n = rows.len() as f64;
+        // Exact constancy per column: a column of identical values must
+        // stay inert (std forced to 1), and detecting it *exactly* avoids
+        // any threshold. The computed mean of such a column may differ
+        // from the value by rounding, leaving noise variance that a plain
+        // `s > 0` check would amplify into ±1 transforms — while any
+        // magnitude-relative threshold would instead squash genuine
+        // ulp-scale variance (both caught by tests/ml_properties.rs).
+        let mut constant = vec![true; dim];
         let mut means = vec![0.0; dim];
         for row in rows {
             assert_eq!(row.len(), dim, "ragged rows");
-            for (m, v) in means.iter_mut().zip(row.iter()) {
+            for ((m, c), (v, first)) in means
+                .iter_mut()
+                .zip(constant.iter_mut())
+                .zip(row.iter().zip(rows[0].iter()))
+            {
                 *m += v;
+                *c &= v == first;
             }
         }
         for m in &mut means {
@@ -40,13 +53,15 @@ impl StandardScaler {
         }
         let stds = vars
             .into_iter()
-            .map(|v| {
+            .zip(constant)
+            .map(|(v, is_constant)| {
                 let s = (v / n).sqrt();
-                // Constant features scale to 0 (not NaN): std 1 keeps them inert.
-                if s > 0.0 {
-                    s
-                } else {
+                // `s == 0` without exact constancy means the genuine
+                // variance underflowed f64 — equally inert.
+                if is_constant || s == 0.0 {
                     1.0
+                } else {
+                    s
                 }
             })
             .collect();

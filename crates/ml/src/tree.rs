@@ -62,6 +62,15 @@ impl DecisionTree {
         }
     }
 
+    /// The root node's `(feature, threshold)`, or `None` if the tree is a
+    /// single leaf. Exposed for split-stability tests and introspection.
+    pub fn root_split(&self) -> Option<(usize, f64)> {
+        match &self.root {
+            Node::Leaf { .. } => None,
+            Node::Split { feature, threshold, .. } => Some((*feature, *threshold)),
+        }
+    }
+
     /// Depth of the tree (leaves at depth 0).
     pub fn depth(&self) -> usize {
         fn d(n: &Node) -> usize {
@@ -128,7 +137,18 @@ fn build(
                 continue;
             }
             let gain = parent_sse - sse(y, &left) - sse(y, &right);
-            if best.is_none_or(|(_, _, g)| gain > g) {
+            // Duplicate gains break ties on the lowest (feature, threshold)
+            // pair, so the chosen split never depends on the order the
+            // shuffled feature subset was visited in — the grown tree is a
+            // pure function of (data, params, rng draws), which the parallel
+            // forest's determinism contract relies on.
+            let better = match best {
+                None => true,
+                Some((bf, bt, bg)) => {
+                    gain > bg || (gain == bg && (feat < bf || (feat == bf && threshold < bt)))
+                }
+            };
+            if better {
                 best = Some((feat, threshold, gain));
             }
         }
@@ -212,6 +232,27 @@ mod tests {
         let tree = DecisionTree::grow(&x, &y, &idx, TreeParams::default(), &mut rng());
         assert_eq!(tree.predict(&[5.0, 0.0]), 0.0);
         assert_eq!(tree.predict(&[5.0, 1.0]), 10.0);
+    }
+
+    #[test]
+    fn duplicate_gain_prefers_the_lowest_feature_index() {
+        // Features 0 and 1 are exact copies, so every candidate split on
+        // feature 1 has the same gain as its twin on feature 0. Whatever
+        // order the rng visits them in, the tie must resolve to feature 0.
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![(i % 2) as f64, (i % 2) as f64]).collect();
+        let y: Vec<f64> = (0..16).map(|i| (i % 2) as f64 * 10.0).collect();
+        let idx: Vec<usize> = (0..16).collect();
+        for seed in 0..32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = DecisionTree::grow(&x, &y, &idx, TreeParams::default(), &mut rng);
+            match tree.root_split() {
+                Some((feature, threshold)) => {
+                    assert_eq!(feature, 0, "seed {seed} split on the higher twin");
+                    assert_eq!(threshold, 0.5);
+                }
+                None => panic!("seed {seed} grew a leaf-only tree"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Property-based tests for the ML layer's shared machinery: error metrics
+//! and the standard scaler.
+//!
+//! Like `crates/ecc/tests/proptest_secded.rs`, these are seeded randomized
+//! checks (fixed-seed generator, hundreds of cases — deterministic, so
+//! failures reproduce exactly) standing in for `proptest`, which the
+//! offline build environment cannot provide.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wade::ml::metrics::{mean_absolute_error_percent, mean_percentage_error, rmse};
+use wade::ml::StandardScaler;
+
+const CASES: usize = 256;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x5CA1_AB1E)
+}
+
+fn random_vec(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+// ---------------------------------------------------------------- metrics
+
+/// MAPE skips zero actuals: inserting (p, 0) pairs anywhere never moves
+/// the metric, and an all-zero-actual input is defined as 0.
+#[test]
+fn mape_skip_zero_semantics() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
+        let pred = random_vec(&mut rng, n, -10.0, 10.0);
+        let actual = random_vec(&mut rng, n, 0.1, 10.0);
+        let base = mean_percentage_error(&pred, &actual);
+
+        // Splice zero-actual pairs at a random position.
+        let at = rng.gen_range(0..=n);
+        let zeros = rng.gen_range(1..4usize);
+        let mut pred2 = pred.clone();
+        let mut actual2 = actual.clone();
+        for _ in 0..zeros {
+            pred2.insert(at, rng.gen_range(-100.0..100.0));
+            actual2.insert(at, 0.0);
+        }
+        assert_eq!(
+            mean_percentage_error(&pred2, &actual2),
+            base,
+            "zero-actual samples must be invisible"
+        );
+    }
+    assert_eq!(mean_percentage_error(&[3.0, -7.0], &[0.0, 0.0]), 0.0);
+}
+
+/// MAPE is non-negative, zero exactly on perfect predictions, and scales
+/// linearly when every prediction moves by the same relative factor.
+#[test]
+fn mape_scale_properties() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
+        let actual = random_vec(&mut rng, n, 0.5, 10.0);
+        assert_eq!(mean_percentage_error(&actual, &actual), 0.0);
+
+        // pred = actual × (1 + r) for one shared r: MAPE = 100·|r|.
+        let r = rng.gen_range(-0.9..0.9);
+        let pred: Vec<f64> = actual.iter().map(|a| a * (1.0 + r)).collect();
+        let mape = mean_percentage_error(&pred, &actual);
+        assert!(mape >= 0.0);
+        assert!(
+            (mape - 100.0 * r.abs()).abs() < 1e-9,
+            "uniform relative error {r} gave MAPE {mape}"
+        );
+    }
+}
+
+/// MAE in percentage points is bounded by [0, 100] on probability targets
+/// in [0, 1] with clamped predictions — the Fig. 12 axis invariant.
+#[test]
+fn mae_percent_bounds_on_unit_interval() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
+        let pred = random_vec(&mut rng, n, 0.0, 1.0);
+        let actual = random_vec(&mut rng, n, 0.0, 1.0);
+        let mae = mean_absolute_error_percent(&pred, &actual);
+        assert!((0.0..=100.0).contains(&mae), "MAE {mae} outside [0, 100]");
+        // Symmetric in its arguments.
+        assert_eq!(mae, mean_absolute_error_percent(&actual, &pred));
+    }
+}
+
+/// RMSE dominates the mean absolute error (quadratic–arithmetic mean
+/// inequality) and both vanish only on perfect predictions.
+#[test]
+fn rmse_dominates_mae() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
+        let pred = random_vec(&mut rng, n, -5.0, 5.0);
+        let actual = random_vec(&mut rng, n, -5.0, 5.0);
+        let mae = mean_absolute_error_percent(&pred, &actual) / 100.0;
+        let r = rmse(&pred, &actual);
+        assert!(r >= mae - 1e-12, "RMSE {r} < MAE {mae}");
+        assert!(r >= 0.0);
+        if r == 0.0 {
+            assert_eq!(pred, actual);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- scaler
+
+/// Transform∘fit statistics: on any non-degenerate sample the transformed
+/// columns have mean ≈ 0 and variance ≈ 1.
+#[test]
+fn scaler_roundtrip_statistics() {
+    let mut rng = rng();
+    for _ in 0..CASES / 4 {
+        let n = rng.gen_range(2..30usize);
+        let dim = rng.gen_range(1..6usize);
+        let scale = 10f64.powi(rng.gen_range(-3..4i32));
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| random_vec(&mut rng, dim, -scale, scale)).collect();
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform_batch(&rows);
+        for j in 0..dim {
+            let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
+            let mean = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!(mean.abs() < 1e-9, "column {j} mean {mean}");
+            // A column may be (near-)constant by chance; then it maps to 0.
+            assert!(
+                (var - 1.0).abs() < 1e-6 || var < 1e-9,
+                "column {j} variance {var}"
+            );
+        }
+    }
+}
+
+/// Constant features stay inert: the fitted value maps to (numerically) 0
+/// — even when the column mean is not exactly representable — and any
+/// other input stays finite and unamplified (std is forced to 1, not to
+/// the column's rounding noise).
+#[test]
+fn scaler_constant_feature_edge() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
+        let c = rng.gen_range(-1e6..1e6);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![c]).collect();
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform(&[c])[0];
+        assert!(
+            t.abs() <= 1e-9 * (1.0 + c.abs()),
+            "constant {c} transformed to {t}"
+        );
+        let probe = rng.gen_range(-1e6..1e6);
+        let tp = scaler.transform(&[probe])[0];
+        assert!(tp.is_finite());
+        // std = 1, so the transform is a plain shift — never an
+        // amplification of the constant column's rounding noise.
+        assert!(tp.abs() <= (probe - c).abs() + 1.0);
+    }
+}
+
+/// Genuine variance is normalized no matter how tiny the column's
+/// magnitude is: the constant-column guard is relative to the mean, so a
+/// column of ±ε values (mean ~0) must still come out unit-variance rather
+/// than being silently dropped as noise.
+#[test]
+fn scaler_keeps_tiny_magnitude_signal() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = 2 * rng.gen_range(1..10usize);
+        // Exponent bounded so eps² (the variance) stays representable in
+        // f64; below ~1e-154 the variance underflows to 0 and the column
+        // is indistinguishable from constant.
+        let eps = 10f64.powi(-rng.gen_range(6..150i32));
+        // Alternating ±eps: mean exactly 0, std exactly eps.
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![if i % 2 == 0 { eps } else { -eps }]).collect();
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform(&[eps])[0];
+        assert!((t - 1.0).abs() < 1e-9, "±{eps} column transformed to {t}, want ~1");
+    }
+}
+
+/// A single-row fit is the degenerate constant case in every feature: the
+/// row itself transforms to the origin.
+#[test]
+fn scaler_single_row_edge() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..8usize);
+        let row = random_vec(&mut rng, dim, -100.0, 100.0);
+        let scaler = StandardScaler::fit(std::slice::from_ref(&row));
+        assert_eq!(scaler.dim(), dim);
+        assert_eq!(scaler.transform(&row), vec![0.0; dim]);
+    }
+}
+
+/// Ragged rows must be rejected at fit time, whatever the shapes are.
+#[test]
+#[should_panic(expected = "ragged")]
+fn scaler_ragged_rows_panic() {
+    let mut rng = rng();
+    let a = rng.gen_range(1..5usize);
+    StandardScaler::fit(&[vec![0.0; a], vec![0.0; a + 1]]);
+}
+
+/// The transform is affine: midpoints map to midpoints, for every feature,
+/// under any fitted scaling.
+#[test]
+fn scaler_transform_is_affine() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..15usize);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| random_vec(&mut rng, 3, -50.0, 50.0)).collect();
+        let scaler = StandardScaler::fit(&rows);
+        let p = random_vec(&mut rng, 3, -50.0, 50.0);
+        let q = random_vec(&mut rng, 3, -50.0, 50.0);
+        let mid: Vec<f64> = p.iter().zip(q.iter()).map(|(a, b)| (a + b) / 2.0).collect();
+        let tp = scaler.transform(&p);
+        let tq = scaler.transform(&q);
+        let tm = scaler.transform(&mid);
+        for j in 0..3 {
+            assert!((tm[j] - (tp[j] + tq[j]) / 2.0).abs() < 1e-9);
+        }
+    }
+}
