@@ -104,19 +104,19 @@ fn bench_eval_grid(c: &mut Criterion) {
         let mut grid = EvalGrid::new();
         grid.add_trainer(
             0,
-            Box::new(|x: &[Vec<f64>], y: &[f64]| {
+            Box::new(|_key: &wade_ml::ModelKey, x: &[Vec<f64>], y: &[f64]| {
                 Arc::new(KnnTrainer::paper_default().train(x, y)) as SharedModel
             }),
         );
         grid.add_trainer(
             1,
-            Box::new(|x: &[Vec<f64>], y: &[f64]| {
+            Box::new(|_key: &wade_ml::ModelKey, x: &[Vec<f64>], y: &[f64]| {
                 Arc::new(SvrTrainer::paper_default().train(x, y)) as SharedModel
             }),
         );
         grid.add_trainer(
             2,
-            Box::new(|x: &[Vec<f64>], y: &[f64]| {
+            Box::new(|_key: &wade_ml::ModelKey, x: &[Vec<f64>], y: &[f64]| {
                 Arc::new(ForestTrainer::new(20).train(x, y)) as SharedModel
             }),
         );

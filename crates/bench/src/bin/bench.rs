@@ -18,7 +18,19 @@
 //! The campaign grid (`CampaignConfig::quick()` × the paper suite at test
 //! scale) is measured on 1 thread and on the full pool to record scaling.
 //!
+//! The artifact-store round trip (cold collect+eval vs warm store hits) is
+//! measured in the `artifact_store` section against its own scratch store;
+//! the tracker itself never installs the process-wide store, so no section
+//! can be accidentally warmed by a previous invocation.
+//!
 //! Usage: `cargo run --release -p wade-bench --bin bench [output.json]`.
+//!
+//! Store maintenance subcommands (`--store-dir DIR` / `WADE_STORE_DIR`
+//! select the store, default `target/wade-store`):
+//!
+//! * `bench store ls` — list artifacts (kind, size, integrity, key)
+//! * `bench store gc` — drop corrupt/foreign-version entries
+//! * `bench store clear` — remove the whole store
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -37,7 +49,33 @@ use wade_ml::{DecisionTree, KnnTrainer, Regressor, SvrTrainer, Trainer, TreePara
 use wade_workloads::{full_suite, paper_suite, Scale};
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".into());
+    // Positional args, skipping flags and `--store-dir`'s value — so
+    // `bench --store-dir X store clear` and `bench store clear
+    // --store-dir X` both reach the subcommand.
+    let args: Vec<String> = std::env::args().collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store-dir" => {
+                // Value consumed here for positional parsing; presence and
+                // validity are enforced by wade_bench::store_dir().
+                if args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                    eprintln!("error: --store-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+            a if a.starts_with("--") => {}
+            a => positional.push(a),
+        }
+        i += 1;
+    }
+    if positional.first() == Some(&"store") {
+        store_command(positional.get(1).copied());
+        return;
+    }
+    let out_path = positional.first().unwrap_or(&"BENCH_sim.json").to_string();
     // Honour the same budget knob as the vendored criterion harness: a
     // budget under 200 ms means "smoke mode" — one sample per
     // configuration instead of the median of several (CI runners).
@@ -270,6 +308,60 @@ fn main() {
         ml_reference_ms / ml_parallel_ms.max(1e-9),
     ));
 
+    // The artifact store: one cold pass (collect the campaign + evaluate
+    // the grid, publishing profiles/campaign/models into a scratch store)
+    // versus a warm pass (fresh in-memory caches, same store: profiling,
+    // collection and training all served from disk). Byte-identity of the
+    // warm outputs against a store-free reference is asserted (untimed).
+    eprintln!("[bench] artifact store: cold vs warm campaign+eval …");
+    let store_root =
+        std::env::temp_dir().join(format!("wade-bench-store-{}", std::process::id()));
+    let store_suite = paper_suite(Scale::Test);
+    let run_with = |root: &std::path::Path| {
+        let store = Arc::new(wade_store::ArtifactStore::open(root));
+        let data = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+            .with_profile_cache(Arc::new(ProfileCache::with_store(store.clone())))
+            .collect_stored(&store, &store_suite, 8);
+        let grid = EvalGrid::evaluate_targets_with(
+            Some(store),
+            &data,
+            &MlKind::ALL,
+            &FeatureSet::ALL,
+            true,
+            true,
+        );
+        (data, grid)
+    };
+    let store_cold_ms = median_ms(ref_samples, || {
+        let _ = std::fs::remove_dir_all(&store_root);
+        std::hint::black_box(run_with(&store_root));
+    });
+    let store_warm_ms = median_ms(cur_samples, || {
+        std::hint::black_box(run_with(&store_root));
+    });
+    let store_identical = {
+        let (warm_data, warm_grid) = run_with(&store_root);
+        let ref_data = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+            .with_profile_cache(Arc::new(ProfileCache::new()))
+            .collect(&store_suite, 8);
+        let ref_grid = EvalGrid::evaluate_targets_with(
+            None,
+            &ref_data,
+            &MlKind::ALL,
+            &FeatureSet::ALL,
+            true,
+            true,
+        );
+        warm_data.to_json().unwrap() == ref_data.to_json().unwrap()
+            && grids_equal(&warm_grid, &ref_grid)
+    };
+    let _ = std::fs::remove_dir_all(&store_root);
+    sections.push(format!(
+        "    \"artifact_store\": {{\n      \"workloads\": {},\n      \"cold_ms\": {store_cold_ms:.3},\n      \"warm_ms\": {store_warm_ms:.3},\n      \"speedup_warm_vs_cold\": {:.2},\n      \"byte_identical\": {store_identical}\n    }}",
+        store_suite.len(),
+        store_cold_ms / store_warm_ms.max(1e-9),
+    ));
+
     let json = format!(
         "{{\n  \"schema\": \"wade-bench-sim/1\",\n  \"threads\": {threads},\n  \"results\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n")
@@ -277,6 +369,46 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
     println!("{json}");
     eprintln!("[bench] wrote {out_path}");
+}
+
+/// `bench store <ls|gc|clear>`: maintenance of the shared artifact store
+/// (`--store-dir` / `WADE_STORE_DIR` / `target/wade-store`).
+fn store_command(action: Option<&str>) {
+    let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
+    match action {
+        Some("ls") => {
+            let entries = store.ls();
+            println!("store: {} ({} entries)", store.root().display(), entries.len());
+            for meta in entries {
+                println!(
+                    "{:<10} {:>10} B  {}  {}",
+                    meta.kind,
+                    meta.file_bytes,
+                    if meta.ok { "ok     " } else { "CORRUPT" },
+                    meta.key.as_deref().unwrap_or("<unreadable>"),
+                );
+            }
+        }
+        Some("gc") => {
+            let report = store.gc();
+            println!(
+                "store: {} — kept {}, removed {}",
+                store.root().display(),
+                report.kept,
+                report.removed
+            );
+        }
+        Some("clear") => {
+            let removed = store.clear();
+            println!("store: {} — removed {removed} entries", store.root().display());
+        }
+        other => {
+            eprintln!(
+                "usage: bench store <ls|gc|clear> [--store-dir DIR]   (got {other:?})"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Pre-overhaul profiling tracer, reconstructed for an honest "before"

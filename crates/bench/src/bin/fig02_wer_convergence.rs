@@ -10,6 +10,8 @@ use wade_dram::ErrorSim;
 use wade_workloads::{Scale, WorkloadId};
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let server = wade_bench::server();
     let op = OperatingPoint::relaxed(2.283, 70.0);
     let duration = 7200.0;
@@ -22,7 +24,11 @@ fn main() {
     println!("Fig. 2: WER vs time, {op} (2 h run)");
     let mut curves = Vec::new();
     for wl in &workloads {
-        let profiled = server.profile_workload(wl.as_ref(), wade_bench::CAMPAIGN_SEED);
+        let profiled = wade_core::ProfileCache::global().profile(
+            &server,
+            wl.as_ref(),
+            wade_bench::CAMPAIGN_SEED,
+        );
         let run = ErrorSim::new(server.device()).run(&profiled.profile, op, duration, 2);
         curves.push((wl.name(), run));
     }

@@ -7,13 +7,15 @@ use wade_features::FeatureSet;
 use wade_workloads::{paper_suite, Scale};
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     println!("Fig. 3: data collection and validation pipeline\n");
 
     println!("[1] Profiling phase: extract program features (perf + DynamoRIO stand-ins)");
     let server = wade_bench::server();
     let suite = paper_suite(Scale::Test);
     for wl in suite.iter().take(3) {
-        let p = server.profile_workload(wl.as_ref(), 1);
+        let p = wade_core::ProfileCache::global().profile(&server, wl.as_ref(), 1);
         println!(
             "    {:<16} {:>9} accesses, {:>9} instrs, 249 features extracted",
             p.name, p.trace.mem_accesses, p.trace.instructions

@@ -7,6 +7,8 @@ use wade_core::OperatingPoint;
 use wade_dram::ErrorSim;
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let server = wade_bench::server();
     let op = OperatingPoint::relaxed(2.283, 50.0);
     let suite = wade_bench::experiment_suite();
@@ -18,7 +20,11 @@ fn main() {
     );
     let mut max_change: f64 = 0.0;
     for wl in suite.iter().take(14) {
-        let profiled = server.profile_workload(wl.as_ref(), wade_bench::CAMPAIGN_SEED);
+        let profiled = wade_core::ProfileCache::global().profile(
+            &server,
+            wl.as_ref(),
+            wade_bench::CAMPAIGN_SEED,
+        );
         let run = ErrorSim::new(server.device()).run(&profiled.profile, op, 7200.0, 3);
         let w120 = run.wer_at(7200.0);
         let w110 = run.wer_at(6600.0);

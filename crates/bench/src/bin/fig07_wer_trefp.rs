@@ -6,6 +6,8 @@ use std::collections::BTreeMap;
 use wade_core::OperatingPoint;
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let data = wade_bench::full_campaign_data();
 
     // Group: temp → trefp → (workload → wer).

@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use wade_dram::RankId;
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let data = wade_bench::full_campaign_data();
 
     let mut by_trefp: BTreeMap<i64, Vec<(String, f64)>> = BTreeMap::new();

@@ -9,6 +9,8 @@
 use wade_features::{schema, spearman};
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let data = wade_bench::full_campaign_data();
 
     // WER samples: per (workload, op) aggregate WER, crash-free rows.

@@ -8,6 +8,8 @@ use wade_core::{EvalGrid, MlKind};
 use wade_features::FeatureSet;
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let data = wade_bench::full_campaign_data();
     // One grid dispatch for every (model, set) PUE cell this figure
     // prints — the same cells table3/repro_all consume from their full

@@ -10,9 +10,11 @@
 use wade_core::{train_error_model, MlKind, OperatingPoint};
 use wade_dram::ErrorSim;
 use wade_features::FeatureSet;
-use wade_workloads::{Scale, WorkloadId};
+use wade_workloads::WorkloadId;
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let data = wade_bench::full_campaign_data();
     let server = wade_bench::server();
     let op = OperatingPoint::relaxed(0.618, 70.0);
@@ -29,8 +31,14 @@ fn main() {
 
     let mut measured = Vec::new();
     for id in [WorkloadId::LuleshO2, WorkloadId::LuleshF, WorkloadId::MicroRandom] {
-        let wl = id.instantiate(8, Scale::Full);
-        let profiled = server.profile_workload(wl.as_ref(), wade_bench::CAMPAIGN_SEED);
+        let wl = id.instantiate(8, wade_bench::scale());
+        // Through the global profile cache, so the store serves the three
+        // study profiles on warm invocations.
+        let profiled = wade_core::ProfileCache::global().profile(
+            &server,
+            wl.as_ref(),
+            wade_bench::CAMPAIGN_SEED,
+        );
         let run = ErrorSim::new(server.device()).run(&profiled.profile, op, 7200.0, 5);
         let meas = run.wer();
         let pred = model.predict_wer_total(&profiled.features, op);

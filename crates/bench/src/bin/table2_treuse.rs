@@ -9,6 +9,8 @@
 use wade_features::schema;
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     let server = wade_bench::server();
     let suite = wade_bench::experiment_suite();
 
@@ -33,7 +35,11 @@ fn main() {
     println!("{:<18} {:>12} {:>12}", "benchmark", "paper", "measured");
     println!("{}", "-".repeat(44));
     for wl in suite.iter().take(14) {
-        let p = server.profile_workload(wl.as_ref(), wade_bench::CAMPAIGN_SEED);
+        let p = wade_core::ProfileCache::global().profile(
+            &server,
+            wl.as_ref(),
+            wade_bench::CAMPAIGN_SEED,
+        );
         let treuse = p.features.get(schema::TREUSE);
         let paper_val = paper
             .iter()

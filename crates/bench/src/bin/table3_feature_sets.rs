@@ -7,6 +7,8 @@ use wade_core::{EvalGrid, MlKind};
 use wade_features::{schema, FeatureSet};
 
 fn main() {
+    // Shared artifact store (--store-dir / WADE_STORE_DIR / target/wade-store).
+    wade_bench::init_store();
     println!("Table III: input feature sets used for training");
     println!("{:<12} parameters", "input set");
     println!("{}", "-".repeat(76));

@@ -2,21 +2,22 @@
 //!
 //! One binary per table/figure of the paper (see ARCHITECTURE.md §4 for the
 //! index) plus Criterion benchmarks. This library holds the shared
-//! plumbing: the reference server/campaign construction, a disk cache for
-//! the collected campaign data (so each figure binary doesn't recollect),
-//! and small table-printing helpers.
+//! plumbing: the reference server/campaign construction, the artifact-store
+//! wiring every figure binary shares (profiles, campaign data and trained
+//! fold models persist across *processes* — ARCHITECTURE.md §11), and small
+//! table-printing helpers.
 //!
 //! ```no_run
-//! // The shared full-grid campaign (collected once, cached under target/):
+//! // The shared full-grid campaign (collected once, stored on disk):
 //! let data = wade_bench::full_campaign_data();
 //! println!("{} rows from the reference server", data.rows.len());
 //! ```
 
 #![deny(missing_docs)]
 
-use std::fs;
-use std::path::PathBuf;
-use wade_core::{Campaign, CampaignConfig, CampaignData, SimulatedServer};
+use std::sync::Arc;
+use wade_core::{Campaign, CampaignConfig, CampaignData, ProfileCache, SimulatedServer};
+use wade_store::ArtifactStore;
 use wade_workloads::{full_suite, Scale, Workload};
 
 /// The reference device seed used by every experiment (the "server in the
@@ -31,40 +32,89 @@ pub fn server() -> SimulatedServer {
     SimulatedServer::with_seed(DEVICE_SEED)
 }
 
-/// The full-suite campaign data at the paper's grid, cached on disk under
-/// `target/` so figure binaries share one collection pass.
-pub fn full_campaign_data() -> CampaignData {
-    let cache = cache_path();
-    if let Ok(json) = fs::read_to_string(&cache) {
-        if let Ok(data) = CampaignData::from_json(&json) {
-            eprintln!("[wade-bench] using cached campaign data ({})", cache.display());
-            return data;
-        }
-    }
-    eprintln!("[wade-bench] collecting full campaign (first run, ~1-2 min)…");
-    let data = collect_full_campaign();
-    if let Ok(json) = data.to_json() {
-        let _ = fs::create_dir_all(cache.parent().unwrap());
-        let _ = fs::write(&cache, json);
-    }
-    data
+/// Installs the process-wide artifact store every figure binary shares and
+/// returns it. The directory is resolved `--store-dir DIR` (or
+/// `--store-dir=DIR`) > `WADE_STORE_DIR` > `target/wade-store`, and the
+/// store is attached to the global profile cache, so profiling, campaign
+/// collection and fold-model training all persist across invocations —
+/// `repro_all` warms the store and every standalone `fig*` binary reuses
+/// it. Idempotent: the first call wins, later calls return the installed
+/// store.
+pub fn init_store() -> Arc<ArtifactStore> {
+    let store = wade_store::install_global(Arc::new(ArtifactStore::open(store_dir())));
+    ProfileCache::global().set_store(Some(store.clone()));
+    store
 }
 
-/// Collects the full campaign without touching the cache.
+/// The store directory [`init_store`] resolves (without installing).
+/// Exits with an error if `--store-dir` is given without a value — falling
+/// back to the default store after a malformed flag would point
+/// destructive subcommands (`store clear`) at a store the user did not
+/// intend to touch.
+pub fn store_dir() -> std::path::PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let mut explicit: Option<String> = None;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--store-dir" {
+            match args.get(i + 1) {
+                Some(dir) if !dir.starts_with("--") => explicit = Some(dir.clone()),
+                _ => {
+                    eprintln!("error: --store-dir requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(dir) = arg.strip_prefix("--store-dir=") {
+            explicit = Some(dir.to_string());
+        }
+    }
+    wade_store::resolve_dir(explicit.as_deref())
+}
+
+/// The experiment scale: `Scale::Full` (the paper's inputs) unless
+/// `WADE_SCALE=test` asks for the reduced CI-friendly inputs. The store
+/// keys fold the scale in through the suite, so Test- and Full-scale
+/// artifacts never collide.
+pub fn scale() -> Scale {
+    match std::env::var("WADE_SCALE") {
+        Ok(v) if v.eq_ignore_ascii_case("test") => Scale::Test,
+        _ => Scale::Full,
+    }
+}
+
+/// The full-suite campaign data at the paper's grid ([`scale`]-sized),
+/// served through the artifact store so every figure binary — and every
+/// repeated invocation — shares one collection pass. The store key is
+/// explicit: (campaign seed, grid config, suite at its scale, device
+/// fingerprint); see `wade_core::campaign_store_key`.
+pub fn full_campaign_data() -> CampaignData {
+    let store = init_store();
+    let config = CampaignConfig::paper_full();
+    let suite = experiment_suite();
+    // Probe the campaign artifact itself (profile-kind hits during a cold
+    // collection must not masquerade as a campaign hit).
+    let key = wade_core::campaign_store_key(&server(), &config, &suite, CAMPAIGN_SEED);
+    if let Some(data) = store.get::<CampaignData>(wade_core::CAMPAIGN_KIND, &key) {
+        eprintln!("[wade-bench] using stored campaign data ({})", store.root().display());
+        return data;
+    }
+    eprintln!(
+        "[wade-bench] collecting full campaign into {} (first run)…",
+        store.root().display()
+    );
+    Campaign::new(server(), config).collect_stored(&store, &suite, CAMPAIGN_SEED)
+}
+
+/// Collects the full campaign without touching the store.
 pub fn collect_full_campaign() -> CampaignData {
     let campaign = Campaign::new(server(), CampaignConfig::paper_full());
     campaign.collect(&experiment_suite(), CAMPAIGN_SEED)
 }
 
 /// The workload suite used by the experiments: the paper's 14 configs plus
-/// the Fig. 13 extras (lulesh ×2 and the random data-pattern micro).
+/// the Fig. 13 extras (lulesh ×2 and the random data-pattern micro), at
+/// [`scale`].
 pub fn experiment_suite() -> Vec<Box<dyn Workload>> {
-    full_suite(Scale::Full)
-}
-
-fn cache_path() -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
-    PathBuf::from(target).join("wade-campaign-cache.json")
+    full_suite(scale())
 }
 
 /// Prints a fixed-width table row.

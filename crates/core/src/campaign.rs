@@ -317,6 +317,25 @@ impl Campaign {
         self.collect_impl(suite, seed, true)
     }
 
+    /// [`Campaign::collect`] behind the disk-backed artifact store: the
+    /// collection is keyed by
+    /// [`crate::campaign_store_key`] — (campaign seed, grid,
+    /// suite/scale, device fingerprint) — and served from `store` when a
+    /// valid entry exists. Collected data round-trips the store
+    /// byte-identically (the vendored `serde_json` is exact), so a warm
+    /// read equals a fresh collection bit for bit; corrupt or
+    /// foreign-version entries read as misses and are atomically
+    /// rewritten.
+    pub fn collect_stored(
+        self,
+        store: &wade_store::ArtifactStore,
+        suite: &[BoxedWorkload],
+        seed: u64,
+    ) -> CampaignData {
+        let key = crate::collect::campaign_store_key(&self.server, &self.config, suite, seed);
+        store.get_or_put(crate::collect::CAMPAIGN_KIND, &key, || self.collect(suite, seed))
+    }
+
     /// The reference collection path: identical grid, seeds and row order
     /// as [`Campaign::collect`], but every run re-realizes its population
     /// directly ([`Campaign::characterize`]). Kept as the verification
@@ -506,6 +525,42 @@ mod tests {
         let back = CampaignData::from_json(&json).unwrap();
         assert_eq!(back.rows.len(), data.rows.len());
         assert_eq!(back.rows[0].workload, data.rows[0].workload);
+    }
+
+    #[test]
+    fn collect_stored_round_trips_byte_identically() {
+        let dir = std::env::temp_dir()
+            .join(format!("wade-campaign-store-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = wade_store::ArtifactStore::open(&dir);
+        let suite = tiny_suite();
+        let campaign = || Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick());
+        let cold = campaign().collect_stored(&store, &suite, 3);
+        assert_eq!((store.writes(), store.hits()), (1, 0));
+        let warm = campaign().collect_stored(&store, &suite, 3);
+        assert_eq!(store.hits(), 1);
+        let reference = campaign().collect(&suite, 3);
+        assert_eq!(cold.to_json().unwrap(), reference.to_json().unwrap());
+        assert_eq!(warm.to_json().unwrap(), reference.to_json().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_store_key_separates_every_input() {
+        let key = |device: u64, seed: u64, config: CampaignConfig, n: usize| {
+            crate::campaign_store_key(
+                &SimulatedServer::with_seed(device),
+                &config,
+                &tiny_suite()[..n],
+                seed,
+            )
+        };
+        let base = key(5, 3, CampaignConfig::quick(), 3);
+        assert_eq!(base, key(5, 3, CampaignConfig::quick(), 3), "key must be stable");
+        assert_ne!(base, key(6, 3, CampaignConfig::quick(), 3), "device seed");
+        assert_ne!(base, key(5, 4, CampaignConfig::quick(), 3), "campaign seed");
+        assert_ne!(base, key(5, 3, CampaignConfig::paper_full(), 3), "grid");
+        assert_ne!(base, key(5, 3, CampaignConfig::quick(), 2), "suite");
     }
 
     #[test]

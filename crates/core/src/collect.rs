@@ -1,9 +1,66 @@
-//! Builders turning campaign data into ML datasets (Fig. 3, right side).
+//! Builders turning campaign data into ML datasets (Fig. 3, right side),
+//! plus the artifact-store keying of collected campaign data.
 
-use crate::campaign::CampaignData;
+use crate::campaign::{CampaignConfig, CampaignData};
+use crate::server::SimulatedServer;
+use std::fmt::Write as _;
 use wade_dram::OperatingPoint;
 use wade_features::{FeatureSet, FeatureVector};
 use wade_ml::Dataset;
+use wade_workloads::BoxedWorkload;
+
+/// The artifact kind of collected campaign data in a
+/// [`wade_store::ArtifactStore`].
+pub const CAMPAIGN_KIND: &str = "campaign";
+
+/// The canonical store key of one campaign collection — everything the
+/// collected rows are a pure function of, made explicit:
+///
+/// * the **campaign seed** (run randomness: VRT states, discovery order),
+/// * the **grid** (`CampaignConfig`: ops, repeats, run duration — its
+///   canonical JSON, embedded verbatim so two configs can never share a
+///   key),
+/// * the **suite** at its **scale** (per workload: name, threads,
+///   `Scale`, cache token and deployment-scale constants, embedded
+///   verbatim),
+/// * the **device** ([`wade_dram::DramDevice::fingerprint`]: manufacturing
+///   seed, geometry/physics, and the simulator's determinism contract — a
+///   re-baselining event changes it, turning stale entries into misses),
+/// * the **SoC profiling configuration** fingerprint
+///   ([`SimulatedServer::soc_fingerprint`]) — the profiling hierarchy is a
+///   code constant, not seed-derived, and the collected rows embed its
+///   features, so changing it must invalidate campaign entries too.
+///
+/// Only the two fingerprints are hashes; the config and suite components
+/// stay verbatim so the store's embedded-full-key check (not a 64-bit
+/// hash) is what decides a hit.
+pub fn campaign_store_key(
+    server: &SimulatedServer,
+    config: &CampaignConfig,
+    suite: &[BoxedWorkload],
+    seed: u64,
+) -> String {
+    let config_json = serde_json::to_string(config).expect("CampaignConfig serializes");
+    let mut suite_desc = String::new();
+    for w in suite {
+        let deploy = w.deploy_scale();
+        let _ = write!(
+            suite_desc,
+            "{}:{}:{:?}:{:016x}:{}:{:016x};",
+            w.name(),
+            w.threads(),
+            w.scale(),
+            w.cache_token(),
+            deploy.footprint_words,
+            deploy.reuse_scale.to_bits(),
+        );
+    }
+    format!(
+        "campaign|seed={seed}|device={:016x}|soc={:016x}|config={config_json}|suite={suite_desc}",
+        server.device().fingerprint(),
+        server.soc_fingerprint(),
+    )
+}
 
 /// Assembles one model-input row: the chosen program-feature subset plus
 /// the operating parameters (`TREFP`, `TEMP_DRAM`, `VDD`), as in Table III.

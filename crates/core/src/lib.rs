@@ -42,12 +42,17 @@ mod server;
 mod thermal;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRow, CharacterizationOutcome};
-pub use collect::{build_pue_dataset, build_wer_dataset, op_augmented_row, MIN_CE_COUNT};
+pub use collect::{
+    build_pue_dataset, build_wer_dataset, campaign_store_key, op_augmented_row, CAMPAIGN_KIND,
+    MIN_CE_COUNT,
+};
 pub use error::WadeError;
-pub use model::{train_error_model, AnyModel, ErrorModel, MlKind};
-pub use predictor::{evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport, EvalGrid};
+pub use model::{train_error_model, AnyModel, ErrorModel, MlKind, TRAINER_CONFIG_VERSION};
+pub use predictor::{
+    evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport, EvalGrid, MODEL_KIND,
+};
 pub use profile_cache::ProfileCache;
-pub use server::{ProfiledWorkload, SimulatedServer};
+pub use server::{ProfiledWorkload, SimulatedServer, PROFILING_CONTRACT_VERSION};
 pub use thermal::{PidController, ThermalTestbed};
 
 pub use wade_dram::{DramUsageProfile, LiveCellIndex, OperatingPoint, PreparedRun};

@@ -10,6 +10,14 @@ use wade_ml::{
     SvrTrainer, Trainer,
 };
 
+/// Version of the paper-default trainer configurations
+/// ([`wade_ml::KnnTrainer::paper_default`] and the SVR/forest siblings)
+/// folded into persistent model-store keys. **Bump on any hyper-parameter
+/// or training-algorithm change** (a re-baselining event for trained
+/// models), so fold models persisted under the old configuration read as
+/// misses instead of stale hits.
+pub const TRAINER_CONFIG_VERSION: u32 = 1;
+
 /// The three supervised learners compared in the paper (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MlKind {
@@ -61,6 +69,14 @@ impl MlKind {
             MlKind::Knn => 1,
             MlKind::Rdf => 2,
         }
+    }
+
+    /// The trainer-configuration tag inside persistent model-store keys:
+    /// the learner label plus [`TRAINER_CONFIG_VERSION`]. Together with the
+    /// dataset fingerprint and the held-out fold it fully keys a trained
+    /// fold model.
+    pub(crate) fn store_tag(&self) -> String {
+        format!("{}|cfg=v{TRAINER_CONFIG_VERSION}", self.label())
     }
 
     /// Trains a serializable regressor of this kind.

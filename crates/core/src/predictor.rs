@@ -15,12 +15,49 @@
 
 use crate::campaign::CampaignData;
 use crate::collect::{build_pue_dataset, build_wer_dataset};
-use crate::model::MlKind;
+use crate::model::{AnyModel, MlKind};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use wade_dram::RANK_COUNT;
 use wade_features::FeatureSet;
 use wade_ml::metrics::{mean_absolute_error_percent, mean_percentage_error};
-use wade_ml::GroupCvOutcome;
+use wade_ml::{Dataset, GroupCvOutcome, SharedModel};
+use wade_store::ArtifactStore;
+
+/// The artifact kind of persisted trained fold models in a
+/// [`wade_store::ArtifactStore`].
+pub const MODEL_KIND: &str = "model";
+
+/// The canonical store key of one trained fold model: trainer
+/// configuration ([`MlKind`] + [`crate::TRAINER_CONFIG_VERSION`]), the
+/// content fingerprint of the training dataset (which folds in the
+/// campaign data, the feature set, the target and every protocol filter),
+/// and the held-out group of the fold (empty = trained on all samples).
+fn model_store_key(kind: MlKind, dataset_id: &str, fold: &str) -> String {
+    format!("model|trainer={}|dataset={}|fold={}", kind.store_tag(), dataset_id, fold)
+}
+
+/// Dataset identity inside model store keys. Unlike the campaign/profile
+/// keys, the dataset is far too large to embed verbatim, so this is the
+/// one key component that rests on hashing: the grid slot (feature set ×
+/// rank/PUE target), sample count, group count and input dimension stay
+/// verbatim, and the content itself is covered by two
+/// independently-salted FxHash64 passes. A wrong hit therefore needs two
+/// datasets agreeing on every verbatim discriminator *and* colliding
+/// under both salted hashes — FxHash is not cryptographic, so this is a
+/// practical bound, not a proof (ARCHITECTURE.md §11 states the caveat).
+fn dataset_id(slot: u64, ds: &Dataset) -> String {
+    let json = serde_json::to_string(ds).expect("Dataset serializes");
+    let lo = wade_store::fingerprint64_salted("wade-dataset-a|", &json);
+    let hi = wade_store::fingerprint64_salted("wade-dataset-b|", &json);
+    format!(
+        "slot{slot}:n{}:g{}:d{}@{hi:016x}{lo:016x}",
+        ds.len(),
+        ds.groups().len(),
+        ds.dim(),
+    )
+}
 
 /// Accuracy summary of one (learner, feature set) combination.
 #[derive(Debug, Clone)]
@@ -46,6 +83,7 @@ pub struct EvalGrid {
     pue: HashMap<(MlKind, FeatureSet), f64>,
     trainings: usize,
     cache_hits: usize,
+    store_hits: usize,
 }
 
 /// Dataset memo key of (set, rank) WER cells / the PUE cell, stable across
@@ -66,13 +104,17 @@ fn set_index(set: FeatureSet) -> u64 {
 
 impl EvalGrid {
     /// Evaluates the full paper grid — all three learners × all three
-    /// input sets × both targets — in one pool dispatch.
+    /// input sets × both targets — in one pool dispatch, persisting fold
+    /// models through the process-wide artifact store when one is
+    /// installed ([`wade_store::global`]).
     pub fn evaluate(data: &CampaignData) -> Self {
         Self::evaluate_targets(data, &MlKind::ALL, &FeatureSet::ALL, true, true)
     }
 
     /// Evaluates a sub-grid (the requested learners × sets; WER and/or PUE
-    /// targets). [`EvalGrid::evaluate`] is the full-grid convenience.
+    /// targets) against the process-wide store, if any.
+    /// [`EvalGrid::evaluate`] is the full-grid convenience;
+    /// [`EvalGrid::evaluate_targets_with`] pins an explicit store.
     pub fn evaluate_targets(
         data: &CampaignData,
         kinds: &[MlKind],
@@ -80,35 +122,92 @@ impl EvalGrid {
         wer: bool,
         pue: bool,
     ) -> Self {
-        // Register trainers and datasets on the wade-ml grid harness. The
-        // fold-level guards replicate the historical evaluation protocol
-        // exactly: datasets need ≥ 6 samples over ≥ 3 workloads, folds
-        // need ≥ 4 training samples.
-        let mut grid = wade_ml::EvalGrid::with_min_train(4);
-        for &kind in kinds {
-            grid.add_trainer(
-                kind.grid_key(),
-                Box::new(move |x: &[Vec<f64>], y: &[f64]| kind.train_shared(x, y)),
-            );
-        }
-        // Datasets failing the guard are simply not registered; they
-        // surface as absent fold entries, which the assembly below reads
-        // back as `per_rank: None` / a `NaN` PUE error.
+        Self::evaluate_targets_with(wade_store::global(), data, kinds, sets, wer, pue)
+    }
+
+    /// [`EvalGrid::evaluate_targets`] with an explicit model store
+    /// (`None` = purely in-process, the historical behaviour). Trained
+    /// fold models are keyed by (trainer config, dataset content
+    /// fingerprint, held-out group); a store hit deserializes a
+    /// bit-identically-predicting [`AnyModel`] instead of training, so a
+    /// warm-store evaluation performs **zero** trainings
+    /// ([`EvalGrid::trainings`] / [`EvalGrid::store_hits`] expose the
+    /// split) while producing byte-identical reports — asserted by
+    /// `tests/artifact_store.rs`.
+    pub fn evaluate_targets_with(
+        store: Option<Arc<ArtifactStore>>,
+        data: &CampaignData,
+        kinds: &[MlKind],
+        sets: &[FeatureSet],
+        wer: bool,
+        pue: bool,
+    ) -> Self {
+        // Build the datasets first: the trainer closures need the complete
+        // dataset-fingerprint table to address persisted models. Datasets
+        // failing the guard are simply not registered; they surface as
+        // absent fold entries, which the assembly below reads back as
+        // `per_rank: None` / a `NaN` PUE error. The guards replicate the
+        // historical evaluation protocol exactly: datasets need ≥ 6
+        // samples over ≥ 3 workloads, folds need ≥ 4 training samples.
+        let mut datasets: Vec<(u64, Dataset)> = Vec::new();
         for &set in sets {
             if wer {
                 for rank in 0..RANK_COUNT {
                     let ds = build_wer_dataset(data, set, rank);
                     if ds.len() >= 6 && ds.groups().len() >= 3 {
-                        grid.add_dataset(wer_key(set, rank), ds);
+                        datasets.push((wer_key(set, rank), ds));
                     }
                 }
             }
             if pue {
                 let ds = build_pue_dataset(data, set);
                 if ds.len() >= 6 && ds.groups().len() >= 3 {
-                    grid.add_dataset(pue_key(set), ds);
+                    datasets.push((pue_key(set), ds));
                 }
             }
+        }
+        // Dataset identities (slot key → verbatim discriminators + content
+        // hash), only paid for when a store is in play.
+        let fingerprints: Arc<HashMap<u64, String>> = Arc::new(if store.is_some() {
+            datasets.iter().map(|(k, ds)| (*k, dataset_id(*k, ds))).collect()
+        } else {
+            HashMap::new()
+        });
+
+        let trainings = Arc::new(AtomicUsize::new(0));
+        let store_hits = Arc::new(AtomicUsize::new(0));
+        let mut grid = wade_ml::EvalGrid::with_min_train(4);
+        for &kind in kinds {
+            let store = store.clone();
+            let fingerprints = fingerprints.clone();
+            let trainings = trainings.clone();
+            let store_hits = store_hits.clone();
+            grid.add_trainer(
+                kind.grid_key(),
+                Box::new(
+                    move |key: &wade_ml::ModelKey, x: &[Vec<f64>], y: &[f64]| {
+                        let Some(store) = store.as_deref() else {
+                            trainings.fetch_add(1, Ordering::Relaxed);
+                            return kind.train_shared(x, y);
+                        };
+                        let skey =
+                            model_store_key(kind, &fingerprints[&key.dataset], &key.fold);
+                        if let Some(model) = store.get::<AnyModel>(MODEL_KIND, &skey) {
+                            store_hits.fetch_add(1, Ordering::Relaxed);
+                            return Arc::new(model) as SharedModel;
+                        }
+                        trainings.fetch_add(1, Ordering::Relaxed);
+                        let model = kind.train_any(x, y);
+                        // Best effort: an unwritable store degrades to
+                        // train-every-process, never to failure.
+                        let _ = store.put(MODEL_KIND, &skey, &model);
+                        Arc::new(model) as SharedModel
+                    },
+                ),
+            );
+        }
+        for (key, ds) in datasets {
+            grid.add_dataset(key, ds);
         }
 
         // One dispatch over every (learner, dataset, fold) unit.
@@ -138,8 +237,9 @@ impl EvalGrid {
         Self {
             wer: wer_reports,
             pue: pue_errors,
-            trainings: grid.cache().trainings(),
+            trainings: trainings.load(Ordering::Relaxed),
             cache_hits: grid.cache().hits(),
+            store_hits: store_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -165,14 +265,22 @@ impl EvalGrid {
             .unwrap_or_else(|| panic!("PUE cell {kind}/{set} not evaluated by this grid"))
     }
 
-    /// Number of fold models trained during the dispatch.
+    /// Number of fold models actually trained during the dispatch (store
+    /// hits are not trainings; a fully warm store reports 0 here).
     pub fn trainings(&self) -> usize {
         self.trainings
     }
 
-    /// Number of fold models served from the memo instead of re-trained.
+    /// Number of fold models served from the in-process memo instead of
+    /// re-trained.
     pub fn cache_hits(&self) -> usize {
         self.cache_hits
+    }
+
+    /// Number of fold models deserialized from the artifact store instead
+    /// of trained.
+    pub fn store_hits(&self) -> usize {
+        self.store_hits
     }
 }
 
@@ -321,6 +429,51 @@ mod tests {
             let pue_cell = grid.pue_error(kind, FeatureSet::Set2);
             assert_eq!(pue_solo.to_bits(), pue_cell.to_bits());
         }
+    }
+
+    #[test]
+    fn warm_store_evaluation_trains_nothing_and_matches_bitwise() {
+        let dir = std::env::temp_dir()
+            .join(format!("wade-model-store-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ArtifactStore::open(&dir));
+        let d = data();
+        let reference = EvalGrid::evaluate(&d); // no store: historical path
+        let cold = EvalGrid::evaluate_targets_with(
+            Some(store.clone()),
+            &d,
+            &MlKind::ALL,
+            &FeatureSet::ALL,
+            true,
+            true,
+        );
+        assert!(cold.trainings() > 0);
+        assert_eq!(cold.store_hits(), 0);
+        let warm = EvalGrid::evaluate_targets_with(
+            Some(store),
+            &d,
+            &MlKind::ALL,
+            &FeatureSet::ALL,
+            true,
+            true,
+        );
+        assert_eq!(warm.trainings(), 0, "a warm store must serve every fold model");
+        assert_eq!(warm.store_hits(), cold.trainings());
+        for kind in MlKind::ALL {
+            for set in FeatureSet::ALL {
+                for grid in [&cold, &warm] {
+                    let a = reference.wer_report(kind, set);
+                    let b = grid.wer_report(kind, set);
+                    assert_eq!(a.average.to_bits(), b.average.to_bits());
+                    assert_eq!(a.per_workload, b.per_workload);
+                    assert_eq!(
+                        reference.pue_error(kind, set).to_bits(),
+                        grid.pue_error(kind, set).to_bits()
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,11 +13,27 @@
 //! A cache hit is *bit-identical* to a fresh profile (asserted by tests),
 //! so the cache is invisible to every consumer, including the seeded
 //! ML-accuracy baselines.
+//!
+//! # Disk tier
+//!
+//! The in-process memo is backed by an optional [`wade_store::ArtifactStore`]
+//! tier (kind `"profile"`, keyed by the same fields as the memo): a memory
+//! miss consults the store before profiling, and fresh profiles are
+//! published back, so *separate processes* — `repro_all` and each
+//! standalone figure binary — share one profiling pass. The vendored
+//! `serde_json` round-trips `f64` exactly, so a disk hit is byte-identical
+//! to a fresh profile (asserted by `tests/artifact_store.rs`); corrupt or
+//! foreign-version entries read as misses and are rewritten. Caches built
+//! with [`ProfileCache::new`] have no disk tier; the process-wide
+//! [`ProfileCache::global`] adopts the store installed by
+//! `wade_store::install_global` (the figure binaries install one at
+//! startup).
 
 use crate::server::{ProfiledWorkload, SimulatedServer};
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use wade_store::ArtifactStore;
 use wade_workloads::{Scale, Workload};
 
 /// The memo key: everything the profiling phase depends on.
@@ -43,6 +59,27 @@ struct ProfileKey {
     soc_fingerprint: u64,
 }
 
+impl ProfileKey {
+    /// The canonical store-key string: every memo-key field, pipe-joined in
+    /// declaration order (floats by bit pattern, so the key is exact).
+    fn canonical(&self) -> String {
+        format!(
+            "profile|name={}|threads={}|scale={:?}|seed={}|deploy_words={}|reuse_bits={:016x}|token={:016x}|soc={:016x}",
+            self.name,
+            self.threads,
+            self.scale,
+            self.seed,
+            self.deploy_footprint_words,
+            self.deploy_reuse_scale_bits,
+            self.token,
+            self.soc_fingerprint,
+        )
+    }
+}
+
+/// The artifact kind of persisted profiles in the store.
+const PROFILE_KIND: &str = "profile";
+
 /// Memoization cap: beyond this many entries new profiles are returned
 /// uncached (counted as misses) instead of retained, bounding a long-lived
 /// process that sweeps many seeds. Generous versus real use — the full
@@ -57,21 +94,43 @@ const MAX_MEMOIZED: usize = 4096;
 #[derive(Debug, Default)]
 pub struct ProfileCache {
     map: Mutex<FxHashMap<ProfileKey, Arc<ProfiledWorkload>>>,
+    store: Mutex<Option<Arc<ArtifactStore>>>,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty cache with no disk tier.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty in-process memo backed by `store`'s `"profile"` artifacts.
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        let cache = Self::new();
+        cache.set_store(Some(store));
+        cache
+    }
+
+    /// Attaches (or detaches, with `None`) the disk tier. Memoized entries
+    /// and counters are kept.
+    pub fn set_store(&self, store: Option<Arc<ArtifactStore>>) {
+        *self.store.lock().expect("profile cache poisoned") = store;
+    }
+
     /// The process-wide cache shared by every [`crate::Campaign`] (and the
-    /// figure binaries) unless told otherwise.
+    /// figure binaries) unless told otherwise. Its disk tier is the
+    /// process-wide `wade_store` store at first use, if one was installed.
     pub fn global() -> Arc<ProfileCache> {
         static GLOBAL: OnceLock<Arc<ProfileCache>> = OnceLock::new();
-        GLOBAL.get_or_init(|| Arc::new(ProfileCache::new())).clone()
+        GLOBAL
+            .get_or_init(|| {
+                let cache = ProfileCache::new();
+                cache.set_store(wade_store::global());
+                Arc::new(cache)
+            })
+            .clone()
     }
 
     /// Profiles `workload` on `server` with memoization: the first call per
@@ -99,18 +158,41 @@ impl ProfileCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        // Memory miss: consult the disk tier before paying for a profiling
+        // run. A disk hit is byte-identical to a fresh profile (the store
+        // round-trips exactly), so it can be memoized like one.
+        let store = self.store.lock().expect("profile cache poisoned").clone();
+        if let Some(store) = &store {
+            if let Some(stored) =
+                store.get::<ProfiledWorkload>(PROFILE_KIND, &key.canonical())
+            {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return self.memoize(key, Arc::new(stored));
+            }
+        }
         // Profile outside the lock so concurrent misses on *different*
         // workloads don't serialize. Concurrent misses on the same key both
         // compute (deterministically identical values); the first insert
         // wins so all consumers share one canonical allocation.
         let fresh = Arc::new(server.profile_workload(workload, seed));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &store {
+            // Best effort: an unwritable store degrades to in-process-only
+            // caching, never to failure.
+            let _ = store.put(PROFILE_KIND, &key.canonical(), fresh.as_ref());
+        }
+        self.memoize(key, fresh)
+    }
+
+    /// Inserts under the memo cap; the first insert wins so every consumer
+    /// shares one canonical allocation.
+    fn memoize(&self, key: ProfileKey, value: Arc<ProfiledWorkload>) -> Arc<ProfiledWorkload> {
         let mut map = self.map.lock().expect("profile cache poisoned");
         if map.len() >= MAX_MEMOIZED && !map.contains_key(&key) {
-            // At capacity: serve the fresh profile without retaining it.
-            return fresh;
+            // At capacity: serve the value without retaining it.
+            return value;
         }
-        map.entry(key).or_insert(fresh).clone()
+        map.entry(key).or_insert(value).clone()
     }
 
     /// Number of configurations currently memoized.
@@ -123,9 +205,15 @@ impl ProfileCache {
         self.len() == 0
     }
 
-    /// Cache hits served so far.
+    /// In-memory cache hits served so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Profiles served from the disk tier (memory misses that avoided a
+    /// profiling run).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses (i.e. actual profiling runs) so far.
@@ -184,6 +272,30 @@ mod tests {
         let b = cache.profile(&SimulatedServer::with_seed(2), wl.as_ref(), 3);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_tier_shares_profiles_across_cache_instances() {
+        let dir = std::env::temp_dir()
+            .join(format!("wade-profile-store-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ArtifactStore::open(&dir));
+        let server = SimulatedServer::with_seed(5);
+        let wl = WorkloadId::Backprop.instantiate(1, Scale::Test);
+
+        let cold = ProfileCache::with_store(store.clone());
+        let first = cold.profile(&server, wl.as_ref(), 3);
+        assert_eq!((cold.misses(), cold.disk_hits()), (1, 0));
+
+        // A fresh cache instance (empty memory, same store) must serve the
+        // profile from disk — the cross-process reuse path — and the disk
+        // hit must be byte-identical to the fresh profile.
+        let warm = ProfileCache::with_store(store);
+        let second = warm.profile(&server, wl.as_ref(), 3);
+        assert_eq!((warm.misses(), warm.disk_hits()), (0, 1));
+        assert_eq!(*first, *second);
+        assert_eq!(*second, server.profile_workload(wl.as_ref(), 3));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The simulated X-Gene2 server: SoC model + DRAM device + thermal testbed.
 
 use crate::thermal::ThermalTestbed;
+use serde::{Deserialize, Serialize};
 use wade_dram::{DramDevice, DramUsageProfile, ReuseQuantiles};
 use wade_features::{extract, ExtractionContext, FeatureVector};
 use wade_memsys::{CacheConfig, Soc, SocConfig, SocReport};
@@ -9,7 +10,13 @@ use wade_workloads::Workload;
 
 /// One workload's profiling result: the 249 features, the DRAM usage
 /// profile for the error simulator, and the raw reports.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the profiling tier of the artifact store can persist it
+/// (`wade-store`); the vendored `serde_json` round-trips every field —
+/// including `f64`s — exactly, so a profile read back from disk is
+/// byte-identical to the freshly computed one (asserted by
+/// `tests/artifact_store.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfiledWorkload {
     /// Benchmark label (paper style, e.g. `"backprop(par)"`).
     pub name: String,
@@ -140,12 +147,23 @@ impl SimulatedServer {
     }
 }
 
+/// Version of the profiling contract: the trace/SoC pipeline and feature
+/// extraction that turn a kernel execution into a [`ProfiledWorkload`].
+/// Folded into [`SimulatedServer::soc_fingerprint`] — and through it into
+/// every profile and campaign store key — so **bump it on any
+/// re-baselining change to the profiling front-end or feature extraction**
+/// (the profiling analogue of `wade-dram`'s `DETERMINISM_VERSION` and
+/// [`crate::TRAINER_CONFIG_VERSION`]): persisted artifacts produced under
+/// the old contract then read as misses instead of stale hits.
+pub const PROFILING_CONTRACT_VERSION: u32 = 1;
+
 /// Order-stable fingerprint of a SoC configuration (the vendored serde
-/// serializes structs in field order).
+/// serializes structs in field order) and the profiling-contract version.
 fn fingerprint_soc_config(config: &SocConfig) -> u64 {
     use std::hash::Hasher as _;
     let json = serde_json::to_string(config).expect("SocConfig serializes");
     let mut hasher = rustc_hash::FxHasher::default();
+    hasher.write_u32(PROFILING_CONTRACT_VERSION);
     hasher.write(json.as_bytes());
     hasher.finish()
 }

@@ -58,6 +58,24 @@ impl DramDevice {
         RetentionLaw::from_physics(&self.physics)
     }
 
+    /// Order-stable fingerprint of everything that determines this device's
+    /// simulated populations and runs: the manufacturing seed, the geometry
+    /// and physics, and the simulator's determinism contract (segment
+    /// count, PRNG, stream domains — see `sim`'s module docs, which are
+    /// normative). Disk-store keys for campaign data fold this in, so a
+    /// re-baselining event (which re-manufactures every device) turns
+    /// persisted artifacts into misses instead of stale hits.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut hasher = crate::fx::FxHasher::default();
+        hasher.write_u64(crate::sim::determinism_fingerprint());
+        hasher.write_u64(self.seed);
+        let parts = serde_json::to_string(&(&self.geometry, &self.physics))
+            .expect("geometry/physics serialize");
+        hasher.write(parts.as_bytes());
+        hasher.finish()
+    }
+
     /// Expected number of weak cells within the retention window on rank
     /// `rank_index` for a footprint of `footprint_words` interleaved words,
     /// at the given temperature and voltage.
@@ -85,6 +103,18 @@ mod tests {
             DramDevice::with_seed(9).variation().factors(),
             DramDevice::with_seed(10).variation().factors()
         );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separates_manufacturing_inputs() {
+        let a = DramDevice::with_seed(1);
+        assert_eq!(a.fingerprint(), DramDevice::with_seed(1).fingerprint());
+        assert_ne!(a.fingerprint(), DramDevice::with_seed(2).fingerprint());
+        // Geometry/physics enter the fingerprint too, not just the seed.
+        let mut geometry = ServerGeometry::x_gene2();
+        geometry.dimms += 1;
+        let grown = DramDevice::with_parts(1, geometry, ErrorPhysics::calibrated());
+        assert_ne!(a.fingerprint(), grown.fingerprint());
     }
 
     #[test]

@@ -112,6 +112,15 @@ pub(crate) type SimRng = SmallRng;
 /// exposing `SEGMENTS × ranks` independent work units.
 const SEGMENTS: u64 = 32;
 
+/// Version tag of the simulator's determinism contract, folded into
+/// [`crate::DramDevice::fingerprint`] (and through it into every disk-store
+/// key derived from simulated data). Bump this on any **re-baselining
+/// event** — changing [`SEGMENTS`], the PRNG ([`SimRng`]), or any stream
+/// domain/salt below — so persisted artifacts manufactured under the old
+/// contract read as misses instead of stale hits. The constant exists
+/// purely for keying; it never enters the simulation itself.
+pub(crate) const DETERMINISM_VERSION: u64 = 1;
+
 /// Segments bundled into one parallel work unit.
 const SEGMENTS_PER_CHUNK: u64 = 4;
 
@@ -122,6 +131,29 @@ const DISTURB_SALT: u64 = 0xD157_0000_0000_0001;
 const OS_POP_SALT: u64 = 0x05C0_1DDA_7A00_0001;
 const OS_RUN_SALT: u64 = 0x05C0_1DDA_7A00_0002;
 const BURST_SALT: u64 = 0xB025_7000_0000_0001;
+
+/// Order-stable fingerprint of the population/run determinism contract:
+/// the segment count plus every stream salt, folded with
+/// [`DETERMINISM_VERSION`]. Changing any of them changes this value, which
+/// invalidates fingerprint-keyed store entries instead of serving results
+/// from a foreign contract.
+pub(crate) fn determinism_fingerprint() -> u64 {
+    [
+        DETERMINISM_VERSION,
+        SEGMENTS,
+        POP_DOMAIN,
+        CELL_ATTR_SALT,
+        CELL_RUN_SALT,
+        DISTURB_SALT,
+        OS_POP_SALT,
+        OS_RUN_SALT,
+        BURST_SALT,
+    ]
+    .iter()
+    .fold(0xcbf2_9ce4_8422_2325, |h: u64, &v| {
+        (h ^ v).wrapping_mul(0x100_0000_01b3).rotate_left(17)
+    })
+}
 
 /// Simulator for characterization runs against one [`DramDevice`].
 #[derive(Debug, Clone)]

@@ -35,10 +35,14 @@ use std::sync::{Arc, Mutex};
 /// A trained model shared between evaluation units and consumers.
 pub type SharedModel = Arc<dyn Regressor + Send + Sync>;
 
-/// A boxed training function: `(features, targets) → model`. Must be
-/// deterministic (same inputs, same model) for the grid's byte-identity
-/// guarantee to hold.
-pub type TrainFn<'a> = Box<dyn Fn(&[Vec<f64>], &[f64]) -> SharedModel + Sync + 'a>;
+/// A boxed training function: `(fold key, features, targets) → model`.
+/// Must be deterministic (same inputs, same model) for the grid's
+/// byte-identity guarantee to hold. The [`ModelKey`] identifies the
+/// (trainer, dataset, held-out group) unit being trained, so persistence
+/// layers wrapping a trainer can address durable artifacts per fold
+/// (wade-core's store-backed grid does exactly that) — plain trainers
+/// simply ignore it.
+pub type TrainFn<'a> = Box<dyn Fn(&ModelKey, &[Vec<f64>], &[f64]) -> SharedModel + Sync + 'a>;
 
 /// Memo key of one trained fold model.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -215,7 +219,9 @@ impl<'a> EvalGrid<'a> {
             .map(|(tkey, train_fn)| {
                 let key =
                     ModelKey { trainer: *tkey, dataset: *dkey, fold: group.to_string() };
-                let model = self.cache.get_or_train(key, || train_fn(&train_x, &train_y));
+                let model = self
+                    .cache
+                    .get_or_train(key.clone(), || train_fn(&key, &train_x, &train_y));
                 Some(GroupCvOutcome {
                     group: group.to_string(),
                     predictions: model.predict_batch(&test_x),
@@ -252,7 +258,7 @@ mod tests {
         for k in [1u64, 3] {
             grid.add_trainer(
                 k,
-                Box::new(move |x: &[Vec<f64>], y: &[f64]| {
+                Box::new(move |_key: &ModelKey, x: &[Vec<f64>], y: &[f64]| {
                     Arc::new(KnnTrainer::new(k as usize).train(x, y)) as SharedModel
                 }),
             );

@@ -1,0 +1,711 @@
+//! Disk-backed, fingerprint-keyed artifact store — the durable tier behind
+//! every caching layer in the workspace.
+//!
+//! Field-deployment studies of DRAM failure prediction treat extracted
+//! feature sets and trained models as persistent, versioned artifacts
+//! shared across runs; this crate is that store for WADE. The three
+//! in-process caches (the profiling memo, the campaign-data disk cache and
+//! the trained-fold-model memo) are thin views over one [`ArtifactStore`],
+//! so repeated invocations, CI and figure binaries pay ~0 for work another
+//! process already did. The contract (normative; ARCHITECTURE.md §11
+//! documents the layout):
+//!
+//! * **Content is pure.** Every artifact is a pure function of its key; a
+//!   warm read is *byte-identical* to recomputing (the vendored
+//!   `serde_json` round-trips `f64` exactly), so the store is invisible to
+//!   every consumer, including seeded golden tests.
+//! * **Keys carry the determinism fingerprint.** Anything that would
+//!   re-manufacture the artifact — seeds, grids, scales, SoC/device
+//!   fingerprints, trainer configs — is folded into the canonical key
+//!   string. A key mismatch is a miss, never a wrong answer.
+//! * **Corruption is a miss.** Entries embed a schema version, the full
+//!   key, the key fingerprint, and the payload's length and hash; a
+//!   truncated, garbled or foreign-version file fails the checks, counts as
+//!   [`ArtifactStore::corrupt`], and is atomically rewritten by the next
+//!   [`ArtifactStore::put`].
+//! * **Writes are atomic.** Payloads land in a temp file in the target
+//!   directory and are renamed into place, so a crashed or concurrent
+//!   writer can never publish a half-written entry.
+//!
+//! # Entry format
+//!
+//! One artifact per file, `<root>/<kind>/<fingerprint as hex>.json`:
+//!
+//! ```text
+//! {"schema":1,"kind":"profile","key":"…","fingerprint":…,"payload_len":…,"payload_hash":…}
+//! <payload JSON, exactly payload_len bytes>
+//! ```
+//!
+//! The header is the first line; the payload is everything after the first
+//! newline. `payload_len` makes truncation detectable without parsing,
+//! `payload_hash` (FxHash64) catches in-place garbling, and the embedded
+//! `key` string guards against fingerprint collisions mapping two keys to
+//! one file (the colliding entry reads as a miss and is overwritten).
+
+#![deny(missing_docs)]
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// On-disk schema version. Bump when the entry format changes; entries with
+/// any other version read as misses (and `gc` removes them).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Environment variable overriding the default store directory.
+pub const STORE_DIR_ENV: &str = "WADE_STORE_DIR";
+
+/// The default store directory when neither `--store-dir` nor
+/// [`STORE_DIR_ENV`] is given: `<CARGO_TARGET_DIR|target>/wade-store`.
+pub fn default_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("wade-store")
+}
+
+/// Resolves the store directory with the standard precedence:
+/// explicit argument (e.g. `--store-dir`) > [`STORE_DIR_ENV`] >
+/// [`default_dir`].
+pub fn resolve_dir(explicit: Option<&str>) -> PathBuf {
+    if let Some(dir) = explicit {
+        return PathBuf::from(dir);
+    }
+    match std::env::var(STORE_DIR_ENV) {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => default_dir(),
+    }
+}
+
+/// The process-wide store, if one has been installed (figure binaries
+/// install one at startup; libraries and tests that never install one run
+/// purely in-process, exactly as before the store existed).
+pub fn global() -> Option<Arc<ArtifactStore>> {
+    global_slot().get().cloned()
+}
+
+/// Installs `store` as the process-wide store consulted by [`global`].
+/// The first installation wins (the registry is a `OnceLock`); the
+/// installed store is returned either way.
+pub fn install_global(store: Arc<ArtifactStore>) -> Arc<ArtifactStore> {
+    let _ = global_slot().set(store);
+    global_slot().get().expect("just installed").clone()
+}
+
+fn global_slot() -> &'static OnceLock<Arc<ArtifactStore>> {
+    static GLOBAL: OnceLock<Arc<ArtifactStore>> = OnceLock::new();
+    &GLOBAL
+}
+
+/// Order-stable 64-bit fingerprint of a canonical key string (FxHash64).
+pub fn fingerprint64(key: &str) -> u64 {
+    use std::hash::Hasher as _;
+    let mut hasher = rustc_hash::FxHasher::default();
+    hasher.write(key.as_bytes());
+    hasher.finish()
+}
+
+/// [`fingerprint64`] domain-separated by `salt`, fed to the hasher
+/// incrementally — no salted copy of a potentially multi-megabyte payload
+/// is allocated.
+pub fn fingerprint64_salted(salt: &str, payload: &str) -> u64 {
+    use std::hash::Hasher as _;
+    let mut hasher = rustc_hash::FxHasher::default();
+    hasher.write(salt.as_bytes());
+    hasher.write(payload.as_bytes());
+    hasher.finish()
+}
+
+/// Metadata of one store entry, as listed by [`ArtifactStore::ls`].
+#[derive(Debug, Clone)]
+pub struct ArtifactMeta {
+    /// Artifact kind (the subdirectory).
+    pub kind: String,
+    /// Canonical key string, when the header parsed (`None` for corrupt
+    /// entries).
+    pub key: Option<String>,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Whether the entry passes every integrity check (schema version,
+    /// fingerprint, payload length and hash).
+    pub ok: bool,
+    /// Full path of the entry.
+    pub path: PathBuf,
+}
+
+/// Summary of an [`ArtifactStore::gc`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries that passed verification and were kept.
+    pub kept: usize,
+    /// Corrupt/foreign-version/stray entries removed.
+    pub removed: usize,
+}
+
+/// A content-addressed, versioned, disk-backed artifact store (see the
+/// module docs for the entry format and the determinism contract).
+///
+/// All operations are `&self` and thread-safe: reads race benignly with the
+/// atomic rename of writes (a reader sees either the old complete entry or
+/// the new complete entry, never a torn one).
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (without touching the filesystem) a store rooted at `root`.
+    /// Directories are created lazily on the first write.
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Reads the artifact stored under `(kind, key)`, verifying schema
+    /// version, key fingerprint, payload length and payload hash. Any
+    /// failure — missing file, truncation, garbling, foreign version, a
+    /// fingerprint-colliding foreign key, or a payload that no longer
+    /// deserializes — is a miss (corruption additionally increments
+    /// [`ArtifactStore::corrupt`]).
+    pub fn get<T: Deserialize>(&self, kind: &str, key: &str) -> Option<T> {
+        let path = self.entry_path(kind, key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match verify_entry(&bytes, kind, key) {
+            Ok(payload) => match serde_json::from_str::<T>(payload) {
+                Ok(value) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(value)
+                }
+                Err(_) => self.miss_corrupt(),
+            },
+            // A fingerprint collision with a *valid* foreign entry is a
+            // plain miss, not corruption.
+            Err(EntryError::ForeignKey) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(_) => self.miss_corrupt(),
+        }
+    }
+
+    fn miss_corrupt<T>(&self) -> Option<T> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Serializes `value` and atomically publishes it under `(kind, key)`,
+    /// replacing any previous (or corrupt) entry.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the directory, temp file or
+    /// rename fails. Callers treating the store as a best-effort cache may
+    /// ignore it.
+    pub fn put<T: Serialize>(&self, kind: &str, key: &str, value: &T) -> io::Result<PathBuf> {
+        let payload = serde_json::to_string(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let entry = encode_entry(kind, key, &payload);
+        let path = self.entry_path(kind, key);
+        let dir = path.parent().expect("entry paths have a parent");
+        fs::create_dir_all(dir)?;
+        // Atomic publish: temp file in the same directory, then rename.
+        // The nonce is drawn with fetch_add so concurrent same-key puts
+        // (deterministically identical content, e.g. racing profile-cache
+        // misses) can never share a temp path and truncate each other
+        // mid-rename.
+        static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            ".tmp-{:016x}-{}-{}",
+            fingerprint64(key),
+            std::process::id(),
+            TMP_NONCE.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&tmp, entry.as_bytes())?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => {}
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                return Err(e);
+            }
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(path)
+    }
+
+    /// [`ArtifactStore::get`] with a compute-and-store fallback: on a miss
+    /// the artifact is produced by `make`, published (best effort — an
+    /// unwritable store degrades to compute-every-time, never to failure)
+    /// and returned.
+    pub fn get_or_put<T: Serialize + Deserialize>(
+        &self,
+        kind: &str,
+        key: &str,
+        make: impl FnOnce() -> T,
+    ) -> T {
+        if let Some(value) = self.get(kind, key) {
+            return value;
+        }
+        let value = make();
+        let _ = self.put(kind, key, &value);
+        value
+    }
+
+    /// Lists every entry in the store (including corrupt ones, flagged
+    /// `ok: false`), sorted by (kind, path) for stable output.
+    pub fn ls(&self) -> Vec<ArtifactMeta> {
+        let mut out = Vec::new();
+        let Ok(kinds) = fs::read_dir(&self.root) else {
+            return out;
+        };
+        for kind_entry in kinds.flatten() {
+            let kind_path = kind_entry.path();
+            if !kind_path.is_dir() {
+                continue;
+            }
+            let kind = kind_entry.file_name().to_string_lossy().into_owned();
+            let Ok(entries) = fs::read_dir(&kind_path) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                // Only files the store itself would have produced: a
+                // mispointed root must never get foreign files listed —
+                // or, through gc()/clear(), deleted.
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !path.is_file() || !is_store_file_name(&name) {
+                    continue;
+                }
+                let file_bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                // Temp files are never valid entries, even when their
+                // content is self-consistent (a crash-orphaned temp was
+                // fully written but never renamed — `get` can't serve it,
+                // so `ok: true` would leak it past `gc` forever).
+                let (key, ok) = if name.starts_with(".tmp-") {
+                    (None, false)
+                } else {
+                    match fs::read(&path) {
+                        Ok(bytes) => match inspect_entry(&bytes, &kind) {
+                            Ok(key) => (Some(key), true),
+                            Err(EntryError::Header(header)) => (header.map(|h| h.key), false),
+                            Err(_) => (None, false),
+                        },
+                        Err(_) => (None, false),
+                    }
+                };
+                out.push(ArtifactMeta { kind: kind.clone(), key, file_bytes, ok, path });
+            }
+        }
+        out.sort_by(|a, b| (a.kind.as_str(), &a.path).cmp(&(b.kind.as_str(), &b.path)));
+        out
+    }
+
+    /// Removes every store entry that fails verification (truncated,
+    /// garbled, foreign schema version, crash-orphaned temp files); keeps
+    /// valid entries. Files that do not match the store's own naming
+    /// shapes are never touched (or listed), and temp files younger than
+    /// [`TMP_GC_GRACE`] are kept — a concurrent writer may be about to
+    /// rename them, and deleting an in-flight temp would make that rename
+    /// fail and silently drop the artifact.
+    pub fn gc(&self) -> GcReport {
+        let mut report = GcReport::default();
+        for meta in self.ls() {
+            if meta.ok {
+                report.kept += 1;
+                continue;
+            }
+            let is_tmp = meta
+                .path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with(".tmp-"));
+            if is_tmp && !older_than(&meta.path, TMP_GC_GRACE) {
+                report.kept += 1;
+                continue;
+            }
+            if fs::remove_file(&meta.path).is_ok() {
+                report.removed += 1;
+            }
+        }
+        report
+    }
+
+    /// Removes every store entry (valid or not) and any now-empty store
+    /// directories. Returns the number of entries removed. Only files the
+    /// store recognizes as entries are touched — a mispointed root (e.g. a
+    /// typo'd `--store-dir` aimed at a directory holding other data) loses
+    /// nothing but actual store files.
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0u64;
+        for meta in self.ls() {
+            if fs::remove_file(&meta.path).is_ok() {
+                removed += 1;
+            }
+            // Kind directories are dropped only once empty.
+            if let Some(dir) = meta.path.parent() {
+                let _ = fs::remove_dir(dir);
+            }
+        }
+        let _ = fs::remove_dir(&self.root);
+        removed
+    }
+
+    /// Successful reads served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Failed reads (absent or corrupt entries) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Reads that found a file but failed an integrity check.
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Entries published so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, kind: &str, key: &str) -> PathBuf {
+        self.root.join(kind).join(format!("{:016x}.json", fingerprint64(key)))
+    }
+}
+
+/// Grace period under which `gc` leaves temp files alone: any live writer
+/// renames its temp within milliseconds, so a minute-old temp can only be
+/// a crash orphan.
+pub const TMP_GC_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Whether `path` was last modified more than `age` ago (unknown mtimes
+/// count as old, so unreadable orphans still get collected).
+fn older_than(path: &Path, age: std::time::Duration) -> bool {
+    match fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(modified) => match modified.elapsed() {
+            Ok(elapsed) => elapsed > age,
+            Err(_) => false, // mtime in the future: a live writer's file
+        },
+        Err(_) => true,
+    }
+}
+
+/// Whether a file name matches the shapes the store writes: a
+/// `<16-hex-digits>.json` entry or a `.tmp-…` scratch file. `ls`/`gc`/
+/// `clear` touch nothing else, so a mispointed root loses no foreign
+/// files.
+fn is_store_file_name(name: &str) -> bool {
+    if name.starts_with(".tmp-") {
+        return true;
+    }
+    match name.strip_suffix(".json") {
+        Some(stem) => stem.len() == 16 && stem.bytes().all(|b| b.is_ascii_hexdigit()),
+        None => false,
+    }
+}
+
+/// Parsed entry header (the first line of an entry file).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Header {
+    schema: u32,
+    kind: String,
+    key: String,
+    fingerprint: u64,
+    payload_len: u64,
+    payload_hash: u64,
+}
+
+#[derive(Debug)]
+enum EntryError {
+    /// No parseable header (carries one if the header line parsed but the
+    /// entry failed integrity anyway, so `ls` can still show the key).
+    Header(Option<Header>),
+    /// Valid entry for a different key with the same fingerprint.
+    ForeignKey,
+}
+
+fn encode_entry(kind: &str, key: &str, payload: &str) -> String {
+    let header = Header {
+        schema: SCHEMA_VERSION,
+        kind: kind.to_string(),
+        key: key.to_string(),
+        fingerprint: fingerprint64(key),
+        payload_len: payload.len() as u64,
+        payload_hash: fingerprint64(payload),
+    };
+    let mut out = serde_json::to_string(&header).expect("header serializes");
+    out.push('\n');
+    out.push_str(payload);
+    out
+}
+
+/// Full verification against an expected `(kind, key)`: returns the payload
+/// slice on success.
+fn verify_entry<'a>(bytes: &'a [u8], kind: &str, key: &str) -> Result<&'a str, EntryError> {
+    let (header, payload) = split_entry(bytes)?;
+    if header.key != key {
+        return Err(EntryError::ForeignKey);
+    }
+    if header.kind != kind || header.fingerprint != fingerprint64(key) {
+        return Err(EntryError::Header(Some(header)));
+    }
+    Ok(payload)
+}
+
+/// Self-consistency verification (no expected key): used by `ls`/`gc`.
+fn inspect_entry(bytes: &[u8], kind: &str) -> Result<String, EntryError> {
+    let (header, _) = split_entry(bytes)?;
+    if header.kind != kind || header.fingerprint != fingerprint64(&header.key) {
+        return Err(EntryError::Header(Some(header)));
+    }
+    Ok(header.key)
+}
+
+/// Shared integrity core: header parse, schema version, payload length and
+/// payload hash.
+fn split_entry(bytes: &[u8]) -> Result<(Header, &str), EntryError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| EntryError::Header(None))?;
+    let (header_line, payload) = text.split_once('\n').ok_or(EntryError::Header(None))?;
+    let header: Header =
+        serde_json::from_str(header_line).map_err(|_| EntryError::Header(None))?;
+    if header.schema != SCHEMA_VERSION
+        || header.payload_len != payload.len() as u64
+        || header.payload_hash != fingerprint64(payload)
+    {
+        return Err(EntryError::Header(Some(header)));
+    }
+    Ok((header, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch store in a unique temp directory, removed on drop.
+    struct Scratch(ArtifactStore);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("wade-store-unit-{}-{tag}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Self(ArtifactStore::open(dir))
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(self.0.root());
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let s = Scratch::new("roundtrip");
+        let value: Vec<f64> = vec![0.1, 1.0 / 3.0, 2.283e-7, -0.0, f64::MIN_POSITIVE];
+        s.0.put("vec", "k1", &value).unwrap();
+        let back: Vec<f64> = s.0.get("vec", "k1").expect("hit");
+        assert_eq!(value.len(), back.len());
+        for (a, b) in value.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "f64 must round-trip exactly");
+        }
+        assert_eq!(s.0.hits(), 1);
+        assert_eq!(s.0.writes(), 1);
+    }
+
+    #[test]
+    fn absent_entry_is_a_plain_miss() {
+        let s = Scratch::new("absent");
+        assert!(s.0.get::<u64>("kind", "nope").is_none());
+        assert_eq!(s.0.misses(), 1);
+        assert_eq!(s.0.corrupt(), 0);
+    }
+
+    #[test]
+    fn keys_and_kinds_are_separated() {
+        let s = Scratch::new("keys");
+        s.0.put("a", "k", &1u64).unwrap();
+        s.0.put("b", "k", &2u64).unwrap();
+        s.0.put("a", "k2", &3u64).unwrap();
+        assert_eq!(s.0.get::<u64>("a", "k"), Some(1));
+        assert_eq!(s.0.get::<u64>("b", "k"), Some(2));
+        assert_eq!(s.0.get::<u64>("a", "k2"), Some(3));
+    }
+
+    #[test]
+    fn truncated_entry_is_corrupt_and_rewritable() {
+        let s = Scratch::new("trunc");
+        let path = s.0.put("k", "key", &vec![1u64, 2, 3]).unwrap();
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 2]).unwrap();
+        assert!(s.0.get::<Vec<u64>>("k", "key").is_none(), "truncation must be a miss");
+        assert_eq!(s.0.corrupt(), 1);
+        // The next put atomically replaces the poisoned file.
+        s.0.put("k", "key", &vec![1u64, 2, 3]).unwrap();
+        assert_eq!(s.0.get::<Vec<u64>>("k", "key"), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn garbage_and_foreign_version_are_corrupt() {
+        let s = Scratch::new("garbage");
+        let path = s.0.put("k", "key", &7u64).unwrap();
+        fs::write(&path, b"not an entry at all").unwrap();
+        assert!(s.0.get::<u64>("k", "key").is_none());
+
+        // Foreign schema version: rebuild a valid entry, then bump the
+        // version field in place.
+        s.0.put("k", "key", &7u64).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let foreign = text.replacen(
+            &format!("\"schema\":{SCHEMA_VERSION}"),
+            &format!("\"schema\":{}", SCHEMA_VERSION + 1),
+            1,
+        );
+        assert_ne!(text, foreign, "version must appear in the header");
+        fs::write(&path, foreign).unwrap();
+        assert!(s.0.get::<u64>("k", "key").is_none(), "foreign version must be a miss");
+        assert!(s.0.corrupt() >= 2);
+    }
+
+    #[test]
+    fn garbled_payload_same_length_is_corrupt() {
+        let s = Scratch::new("garble");
+        let path = s.0.put("k", "key", &vec![5u64; 4]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01; // same length, different content
+        fs::write(&path, &bytes).unwrap();
+        assert!(s.0.get::<Vec<u64>>("k", "key").is_none(), "payload hash must catch this");
+        assert_eq!(s.0.corrupt(), 1);
+    }
+
+    #[test]
+    fn colliding_fingerprint_reads_as_plain_miss() {
+        let s = Scratch::new("collide");
+        let path = s.0.put("k", "key-a", &1u64).unwrap();
+        // Forge a fingerprint collision: a fully valid entry for a
+        // different key placed at key-a's path.
+        let forged = encode_entry("k", "key-b", "2");
+        fs::write(&path, forged).unwrap();
+        assert!(s.0.get::<u64>("k", "key-a").is_none());
+        assert_eq!(s.0.corrupt(), 0, "a valid foreign entry is not corruption");
+    }
+
+    #[test]
+    fn get_or_put_computes_once() {
+        let s = Scratch::new("get-or-put");
+        let mut calls = 0;
+        let a = s.0.get_or_put("k", "key", || {
+            calls += 1;
+            42u64
+        });
+        let b = s.0.get_or_put("k", "key", || {
+            calls += 1;
+            999u64
+        });
+        assert_eq!((a, b, calls), (42, 42, 1));
+    }
+
+    #[test]
+    fn ls_gc_clear_lifecycle() {
+        let s = Scratch::new("lifecycle");
+        s.0.put("alpha", "k1", &1u64).unwrap();
+        s.0.put("beta", "k2", &2u64).unwrap();
+        let poisoned = s.0.put("beta", "k3", &3u64).unwrap();
+        fs::write(&poisoned, b"junk").unwrap();
+        // A foreign file inside a kind directory (a mispointed root):
+        // never listed, never gc'd, never cleared.
+        let foreign = s.0.root().join("beta").join("notes.txt");
+        fs::write(&foreign, b"precious user data").unwrap();
+
+        let ls = s.0.ls();
+        assert_eq!(ls.len(), 3, "foreign file must not be listed");
+        assert_eq!(ls.iter().filter(|m| m.ok).count(), 2);
+        assert!(ls.iter().any(|m| m.key.as_deref() == Some("k1") && m.kind == "alpha"));
+
+        let gc = s.0.gc();
+        assert_eq!(gc, GcReport { kept: 2, removed: 1 });
+        assert_eq!(s.0.ls().len(), 2);
+        assert!(foreign.exists(), "gc must not touch foreign files");
+
+        assert_eq!(s.0.clear(), 2);
+        assert!(s.0.ls().is_empty());
+        assert!(foreign.exists(), "clear must not touch foreign files");
+        assert!(s.0.root().exists(), "root with foreign content must survive clear");
+    }
+
+    #[test]
+    fn temp_files_are_never_ok_and_gc_respects_the_grace_period() {
+        let s = Scratch::new("tmp-orphans");
+        s.0.put("k", "key", &1u64).unwrap();
+        // A crash-orphaned temp with fully valid entry content: written
+        // but never renamed, so `get` can never serve it.
+        let orphan = s.0.root().join("k").join(".tmp-deadbeef-1-0");
+        fs::write(&orphan, encode_entry("k", "other-key", "2")).unwrap();
+
+        let ls = s.0.ls();
+        assert_eq!(ls.len(), 2);
+        assert!(
+            ls.iter().all(|m| m.ok == (m.path != orphan)),
+            "temp files must never be ok, however valid their content"
+        );
+
+        // Fresh temp: inside the grace period, a concurrent writer may be
+        // about to rename it — gc must leave it alone.
+        assert_eq!(s.0.gc(), GcReport { kept: 2, removed: 0 });
+        assert!(orphan.exists());
+
+        // Age it past the grace period: now it is a crash orphan.
+        let old = std::time::SystemTime::now() - (TMP_GC_GRACE + TMP_GC_GRACE);
+        let file = fs::File::options().write(true).open(&orphan).unwrap();
+        file.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
+        drop(file);
+        assert_eq!(s.0.gc(), GcReport { kept: 1, removed: 1 });
+        assert!(!orphan.exists());
+        assert_eq!(s.0.get::<u64>("k", "key"), Some(1), "real entry untouched");
+    }
+
+    #[test]
+    fn salted_fingerprint_is_stable_and_domain_separated() {
+        let a = fingerprint64_salted("salt|", "payload");
+        assert_eq!(a, fingerprint64_salted("salt|", "payload"));
+        assert_ne!(a, fingerprint64("payload"));
+        assert_ne!(a, fingerprint64_salted("other|", "payload"));
+    }
+
+    #[test]
+    fn resolve_dir_precedence() {
+        // Explicit beats everything.
+        assert_eq!(resolve_dir(Some("/x/y")), PathBuf::from("/x/y"));
+        // Env/default branch, asserted against the documented expectation
+        // computed from the same process state (env mutation in tests
+        // would race other tests, so the two env cases share one assert).
+        let expected = match std::env::var(STORE_DIR_ENV) {
+            Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+            _ => default_dir(),
+        };
+        assert_eq!(resolve_dir(None), expected);
+    }
+}

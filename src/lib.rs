@@ -20,6 +20,7 @@
 //! | [`workloads`] | `wade-workloads` | executable mini-benchmarks |
 //! | [`features`] | `wade-features` | 249-feature schema + Spearman + Table III sets |
 //! | [`ml`] | `wade-ml` | KNN / ε-SVR / random forests / LOWO-CV |
+//! | [`store`] | `wade-store` | disk-backed, fingerprint-keyed artifact store |
 //!
 //! # Quick start
 //!
@@ -69,5 +70,6 @@ pub use wade_ecc as ecc;
 pub use wade_features as features;
 pub use wade_memsys as memsys;
 pub use wade_ml as ml;
+pub use wade_store as store;
 pub use wade_trace as trace;
 pub use wade_workloads as workloads;
