@@ -29,8 +29,14 @@
 //! select the store, default `target/wade-store`):
 //!
 //! * `bench store ls` — list artifacts (kind, size, integrity, key)
-//! * `bench store gc` — drop corrupt/foreign-version entries
+//! * `bench store gc [--max-bytes N]` — drop corrupt/foreign-version
+//!   entries; with a cap, also evict valid entries least-recently-accessed
+//!   first until the store holds at most N bytes
 //! * `bench store clear` — remove the whole store
+//! * `bench store torture [--seed N] [--ops M] [--threads T]
+//!   [--fault-rate F]` — drive a *scratch* store (never the real one)
+//!   through a deterministic fault schedule and assert the no-corruption
+//!   invariant (exit 1 on any wrong-value read)
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -48,21 +54,33 @@ use wade_ml::metrics::{mean_absolute_error_percent, mean_percentage_error};
 use wade_ml::{DecisionTree, KnnTrainer, Regressor, SvrTrainer, Trainer, TreeParams};
 use wade_workloads::{full_suite, paper_suite, Scale};
 
+/// Flags that take a value: consumed during positional parsing so flag
+/// values never masquerade as subcommands, and collected for the store
+/// subcommands. `--store-dir`'s validity stays enforced by
+/// `wade_bench::store_dir()`.
+const VALUE_FLAGS: [&str; 6] =
+    ["--store-dir", "--seed", "--ops", "--threads", "--fault-rate", "--max-bytes"];
+
 fn main() {
-    // Positional args, skipping flags and `--store-dir`'s value — so
+    // Positional args, skipping flags and their values — so
     // `bench --store-dir X store clear` and `bench store clear
     // --store-dir X` both reach the subcommand.
     let args: Vec<String> = std::env::args().collect();
     let mut positional: Vec<&str> = Vec::new();
+    let mut flags: HashMap<&'static str, String> = HashMap::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--store-dir" => {
-                // Value consumed here for positional parsing; presence and
-                // validity are enforced by wade_bench::store_dir().
-                if args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
-                    eprintln!("error: --store-dir requires a directory argument");
-                    std::process::exit(2);
+            flag if VALUE_FLAGS.contains(&flag) => {
+                let canonical = VALUE_FLAGS.iter().find(|f| **f == flag).unwrap();
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.insert(canonical, v.clone());
+                    }
+                    _ => {
+                        eprintln!("error: {flag} requires a value");
+                        std::process::exit(2);
+                    }
                 }
                 i += 1;
             }
@@ -72,7 +90,7 @@ fn main() {
         i += 1;
     }
     if positional.first() == Some(&"store") {
-        store_command(positional.get(1).copied());
+        store_command(positional.get(1).copied(), &flags);
         return;
     }
     let out_path = positional.first().unwrap_or(&"BENCH_sim.json").to_string();
@@ -362,6 +380,44 @@ fn main() {
         store_cold_ms / store_warm_ms.max(1e-9),
     ));
 
+    // Fault-injection overhead: the store torture harness (a fixed
+    // deterministic op mix over a scratch store) run healthy versus at a
+    // 10 % per-op fault rate. The faulty run pays retries, backoff sleeps
+    // and recomputes; the interesting numbers are the overhead ratio and
+    // that the no-corruption invariant held in both runs.
+    eprintln!("[bench] store fault injection: healthy vs 10% fault rate …");
+    let torture_ops: u64 = if ref_samples == 1 { 400 } else { 4_000 };
+    let torture_run = |fault_rate: f64| {
+        let root = std::env::temp_dir().join(format!(
+            "wade-bench-fault-{}-{}",
+            std::process::id(),
+            (fault_rate * 100.0) as u32
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = wade_store::torture::TortureConfig {
+            seed: 42,
+            ops: torture_ops,
+            threads: 4,
+            fault_rate,
+        };
+        let start = Instant::now();
+        let report = wade_store::torture::run(&root, &config);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let _ = std::fs::remove_dir_all(&root);
+        (ms, report)
+    };
+    let (fault_healthy_ms, fault_healthy) = torture_run(0.0);
+    let (fault_faulty_ms, fault_faulty) = torture_run(0.10);
+    sections.push(format!(
+        "    \"store_fault\": {{\n      \"ops\": {torture_ops},\n      \"threads\": 4,\n      \"fault_rate\": 0.1,\n      \"healthy_ms\": {fault_healthy_ms:.3},\n      \"faulty_ms\": {fault_faulty_ms:.3},\n      \"overhead_faulty_vs_healthy\": {:.2},\n      \"faults_injected\": {},\n      \"retries\": {},\n      \"io_errors\": {},\n      \"degraded_ops\": {},\n      \"no_wrong_reads\": {}\n    }}",
+        fault_faulty_ms / fault_healthy_ms.max(1e-9),
+        fault_faulty.faults.total(),
+        fault_faulty.retries,
+        fault_faulty.io_errors,
+        fault_faulty.degraded_ops,
+        fault_healthy.ok() && fault_faulty.ok(),
+    ));
+
     let json = format!(
         "{{\n  \"schema\": \"wade-bench-sim/1\",\n  \"threads\": {threads},\n  \"results\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n")
@@ -371,12 +427,31 @@ fn main() {
     eprintln!("[bench] wrote {out_path}");
 }
 
-/// `bench store <ls|gc|clear>`: maintenance of the shared artifact store
-/// (`--store-dir` / `WADE_STORE_DIR` / `target/wade-store`).
-fn store_command(action: Option<&str>) {
-    let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
+/// Parses a numeric flag value, exiting with status 2 on malformed input
+/// (same contract as `wade_bench::store_dir` for `--store-dir`).
+fn flag_num<T: std::str::FromStr>(
+    flags: &HashMap<&'static str, String>,
+    name: &str,
+    default: T,
+) -> T {
+    match flags.get(name) {
+        Some(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a number, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// `bench store <ls|gc|clear|torture>`: maintenance and chaos-testing of
+/// the shared artifact store (`--store-dir` / `WADE_STORE_DIR` /
+/// `target/wade-store`). `torture` deliberately ignores `--store-dir` and
+/// runs against a scratch directory — a fault schedule must never chew
+/// through the user's real cache.
+fn store_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
     match action {
         Some("ls") => {
+            let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
             let entries = store.ls();
             println!("store: {} ({} entries)", store.root().display(), entries.len());
             for meta in entries {
@@ -390,21 +465,89 @@ fn store_command(action: Option<&str>) {
             }
         }
         Some("gc") => {
-            let report = store.gc();
+            let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
+            let max_bytes: Option<u64> = flags.get("--max-bytes").map(|v| {
+                v.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("error: --max-bytes expects a byte count, got {v:?}");
+                    std::process::exit(2);
+                })
+            });
+            let report = store.gc_capped(max_bytes);
             println!(
-                "store: {} — kept {}, removed {}",
+                "store: {} — kept {}, removed {} corrupt, evicted {} over cap, {} B live",
                 store.root().display(),
                 report.kept,
-                report.removed
+                report.removed,
+                report.evicted,
+                report.bytes_kept,
             );
         }
         Some("clear") => {
+            let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
             let removed = store.clear();
             println!("store: {} — removed {removed} entries", store.root().display());
         }
+        Some("torture") => {
+            let config = wade_store::torture::TortureConfig {
+                seed: flag_num(flags, "--seed", 1u64),
+                ops: flag_num(flags, "--ops", 5_000u64),
+                threads: flag_num(flags, "--threads", 4usize),
+                fault_rate: flag_num(flags, "--fault-rate", 0.10f64),
+            };
+            let root = std::env::temp_dir().join(format!(
+                "wade-torture-{}-{}",
+                std::process::id(),
+                config.seed
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            eprintln!(
+                "[torture] scratch store {} — seed {}, {} ops, {} threads, fault rate {}",
+                root.display(),
+                config.seed,
+                config.ops,
+                config.threads,
+                config.fault_rate,
+            );
+            let start = Instant::now();
+            let report = wade_store::torture::run(&root, &config);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let _ = std::fs::remove_dir_all(&root);
+            println!(
+                "torture: {} ops in {ms:.1} ms — {} puts ({} failed), {} gets \
+                 ({} hits, {} misses), {} gc, {} ls",
+                report.ops,
+                report.puts,
+                report.put_errors,
+                report.gets,
+                report.hits,
+                report.misses,
+                report.gcs,
+                report.lss,
+            );
+            println!(
+                "torture: {} faults injected, {} retries, {} hard I/O errors, \
+                 {} corrupt-as-miss, {} ops skipped degraded (degraded at exit: {})",
+                report.faults.total(),
+                report.retries,
+                report.io_errors,
+                report.corrupt,
+                report.degraded_ops,
+                report.degraded,
+            );
+            if report.ok() {
+                println!("torture: OK — 0 wrong-value reads");
+            } else {
+                eprintln!(
+                    "torture: FAIL — {} wrong-value reads (corruption served as a hit)",
+                    report.wrong_reads
+                );
+                std::process::exit(1);
+            }
+        }
         other => {
             eprintln!(
-                "usage: bench store <ls|gc|clear> [--store-dir DIR]   (got {other:?})"
+                "usage: bench store <ls|gc [--max-bytes N]|clear|torture [--seed N] \
+                 [--ops M] [--threads T] [--fault-rate F]> [--store-dir DIR]   (got {other:?})"
             );
             std::process::exit(2);
         }

@@ -358,7 +358,9 @@ impl Campaign {
         let mut all_ops: Vec<(OperatingPoint, bool)> = Vec::new();
         all_ops.extend(self.config.wer_ops.iter().map(|&op| (op, false)));
         all_ops.extend(self.config.pue_ops.iter().map(|&op| (op, true)));
-        all_ops.sort_by(|a, b| a.0.temp_c.partial_cmp(&b.0.temp_c).unwrap());
+        // total_cmp: NaN-proof (a hand-built config with a NaN set-point
+        // must not panic the whole campaign mid-collect).
+        all_ops.sort_by(|a, b| a.0.temp_c.total_cmp(&b.0.temp_c));
 
         let mut cursor = 0;
         while cursor < all_ops.len() {

@@ -40,7 +40,10 @@ pub fn campaign_store_key(
     suite: &[BoxedWorkload],
     seed: u64,
 ) -> String {
-    let config_json = serde_json::to_string(config).expect("CampaignConfig serializes");
+    // The Debug fallback still identifies the config uniquely (every field
+    // derives Debug); a serializer hiccup must not panic key construction.
+    let config_json =
+        serde_json::to_string(config).unwrap_or_else(|_| format!("{config:?}"));
     let mut suite_desc = String::new();
     for w in suite {
         let deploy = w.deploy_scale();

@@ -12,6 +12,11 @@ pub enum WadeError {
     InvalidInput(String),
     /// Persistence (JSON serialisation) failed.
     Persistence(String),
+    /// The artifact-store tier failed (I/O, corruption, degraded mode);
+    /// carries the structured [`wade_store::StoreError`] taxonomy. Cache
+    /// consumers treat this as "recompute in memory", so it surfaces only
+    /// from APIs that make the store mandatory.
+    Store(wade_store::StoreError),
 }
 
 impl fmt::Display for WadeError {
@@ -20,6 +25,7 @@ impl fmt::Display for WadeError {
             WadeError::EmptyDataset(what) => write!(f, "empty dataset: {what}"),
             WadeError::InvalidInput(what) => write!(f, "invalid input: {what}"),
             WadeError::Persistence(what) => write!(f, "persistence failure: {what}"),
+            WadeError::Store(err) => write!(f, "artifact store failure: {err}"),
         }
     }
 }
@@ -29,6 +35,12 @@ impl std::error::Error for WadeError {}
 impl From<serde_json::Error> for WadeError {
     fn from(err: serde_json::Error) -> Self {
         WadeError::Persistence(err.to_string())
+    }
+}
+
+impl From<wade_store::StoreError> for WadeError {
+    fn from(err: wade_store::StoreError) -> Self {
+        WadeError::Store(err)
     }
 }
 

@@ -47,16 +47,20 @@ fn model_store_key(kind: MlKind, dataset_id: &str, fold: &str) -> String {
 /// datasets agreeing on every verbatim discriminator *and* colliding
 /// under both salted hashes — FxHash is not cryptographic, so this is a
 /// practical bound, not a proof (ARCHITECTURE.md §11 states the caveat).
-fn dataset_id(slot: u64, ds: &Dataset) -> String {
-    let json = serde_json::to_string(ds).expect("Dataset serializes");
+///
+/// Returns `None` if the dataset fails to serialize; the affected cell
+/// then trains in-process without store persistence instead of aborting
+/// the whole grid.
+fn dataset_id(slot: u64, ds: &Dataset) -> Option<String> {
+    let json = serde_json::to_string(ds).ok()?;
     let lo = wade_store::fingerprint64_salted("wade-dataset-a|", &json);
     let hi = wade_store::fingerprint64_salted("wade-dataset-b|", &json);
-    format!(
+    Some(format!(
         "slot{slot}:n{}:g{}:d{}@{hi:016x}{lo:016x}",
         ds.len(),
         ds.groups().len(),
         ds.dim(),
-    )
+    ))
 }
 
 /// Accuracy summary of one (learner, feature set) combination.
@@ -169,7 +173,10 @@ impl EvalGrid {
         // Dataset identities (slot key → verbatim discriminators + content
         // hash), only paid for when a store is in play.
         let fingerprints: Arc<HashMap<u64, String>> = Arc::new(if store.is_some() {
-            datasets.iter().map(|(k, ds)| (*k, dataset_id(*k, ds))).collect()
+            datasets
+                .iter()
+                .filter_map(|(k, ds)| dataset_id(*k, ds).map(|id| (*k, id)))
+                .collect()
         } else {
             HashMap::new()
         });
@@ -190,8 +197,14 @@ impl EvalGrid {
                             trainings.fetch_add(1, Ordering::Relaxed);
                             return kind.train_shared(x, y);
                         };
-                        let skey =
-                            model_store_key(kind, &fingerprints[&key.dataset], &key.fold);
+                        // A dataset without a registered fingerprint (its
+                        // identity failed to serialize) trains in-process —
+                        // graceful degradation, never a panic mid-grid.
+                        let Some(ds_id) = fingerprints.get(&key.dataset) else {
+                            trainings.fetch_add(1, Ordering::Relaxed);
+                            return kind.train_shared(x, y);
+                        };
+                        let skey = model_store_key(kind, ds_id, &key.fold);
                         if let Some(model) = store.get::<AnyModel>(MODEL_KIND, &skey) {
                             store_hits.fetch_add(1, Ordering::Relaxed);
                             return Arc::new(model) as SharedModel;

@@ -32,9 +32,18 @@
 use crate::server::{ProfiledWorkload, SimulatedServer};
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use wade_store::ArtifactStore;
 use wade_workloads::{Scale, Workload};
+
+/// Poison-tolerant lock: every mutation of the protected state is a single
+/// map/`Option` operation, so a thread that panicked while holding the
+/// guard cannot have left it torn — recovering the inner value is always
+/// safe, and one crashed profiling thread must not poison every later
+/// campaign in the process.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The memo key: everything the profiling phase depends on.
 ///
@@ -116,7 +125,7 @@ impl ProfileCache {
     /// Attaches (or detaches, with `None`) the disk tier. Memoized entries
     /// and counters are kept.
     pub fn set_store(&self, store: Option<Arc<ArtifactStore>>) {
-        *self.store.lock().expect("profile cache poisoned") = store;
+        *relock(&self.store) = store;
     }
 
     /// The process-wide cache shared by every [`crate::Campaign`] (and the
@@ -154,14 +163,14 @@ impl ProfileCache {
             token: workload.cache_token(),
             soc_fingerprint: server.soc_fingerprint(),
         };
-        if let Some(hit) = self.map.lock().expect("profile cache poisoned").get(&key) {
+        if let Some(hit) = relock(&self.map).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         // Memory miss: consult the disk tier before paying for a profiling
         // run. A disk hit is byte-identical to a fresh profile (the store
         // round-trips exactly), so it can be memoized like one.
-        let store = self.store.lock().expect("profile cache poisoned").clone();
+        let store = relock(&self.store).clone();
         if let Some(store) = &store {
             if let Some(stored) =
                 store.get::<ProfiledWorkload>(PROFILE_KIND, &key.canonical())
@@ -187,7 +196,7 @@ impl ProfileCache {
     /// Inserts under the memo cap; the first insert wins so every consumer
     /// shares one canonical allocation.
     fn memoize(&self, key: ProfileKey, value: Arc<ProfiledWorkload>) -> Arc<ProfiledWorkload> {
-        let mut map = self.map.lock().expect("profile cache poisoned");
+        let mut map = relock(&self.map);
         if map.len() >= MAX_MEMOIZED && !map.contains_key(&key) {
             // At capacity: serve the value without retaining it.
             return value;
@@ -197,7 +206,7 @@ impl ProfileCache {
 
     /// Number of configurations currently memoized.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("profile cache poisoned").len()
+        relock(&self.map).len()
     }
 
     /// True when nothing is memoized.
@@ -223,7 +232,7 @@ impl ProfileCache {
 
     /// Drops every memoized profile (counters are kept).
     pub fn clear(&self) {
-        self.map.lock().expect("profile cache poisoned").clear();
+        relock(&self.map).clear();
     }
 }
 
@@ -296,6 +305,23 @@ mod tests {
         assert_eq!(*first, *second);
         assert_eq!(*second, server.profile_workload(wl.as_ref(), 3));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_take_the_cache_down() {
+        let cache = Arc::new(ProfileCache::new());
+        let poisoner = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.map.lock().unwrap();
+            panic!("simulated profiler crash while holding the memo lock");
+        })
+        .join();
+        // The cache must keep serving (and memoizing) after the poison.
+        let server = SimulatedServer::with_seed(5);
+        let wl = WorkloadId::Backprop.instantiate(1, Scale::Test);
+        let p = cache.profile(&server, wl.as_ref(), 3);
+        assert_eq!(*p, server.profile_workload(wl.as_ref(), 3));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

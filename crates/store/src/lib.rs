@@ -8,7 +8,7 @@
 //! the trained-fold-model memo) are thin views over one [`ArtifactStore`],
 //! so repeated invocations, CI and figure binaries pay ~0 for work another
 //! process already did. The contract (normative; ARCHITECTURE.md §11
-//! documents the layout):
+//! documents the layout, §12 the failure semantics):
 //!
 //! * **Content is pure.** Every artifact is a pure function of its key; a
 //!   warm read is *byte-identical* to recomputing (the vendored
@@ -26,6 +26,14 @@
 //! * **Writes are atomic.** Payloads land in a temp file in the target
 //!   directory and are renamed into place, so a crashed or concurrent
 //!   writer can never publish a half-written entry.
+//! * **Failure degrades, never aborts.** All disk access goes through the
+//!   [`StoreFs`] seam. Transient faults get [`MAX_ATTEMPTS`] tries with
+//!   deterministic backoff; persistent faults trip the store into a
+//!   *degraded* mode where every consumer silently falls back to its
+//!   in-memory path (a periodic probe rejoins the disk tier once it
+//!   heals). Because the store is pure, results under any fault schedule
+//!   are byte-identical to the healthy path — `tests/fault_injection.rs`
+//!   asserts this end to end.
 //!
 //! # Entry format
 //!
@@ -44,13 +52,21 @@
 
 #![deny(missing_docs)]
 
-use std::fs;
+pub mod torture;
+
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, SystemTime};
 
 use serde::{Deserialize, Serialize};
+
+pub use wade_fault::{
+    is_transient, mix64, DirEntryInfo, FaultCounters, FaultPlan, FaultRng, FaultyFs, RealFs,
+    StoreFs,
+};
 
 /// On-disk schema version. Bump when the entry format changes; entries with
 /// any other version read as misses (and `gc` removes them).
@@ -58,6 +74,26 @@ pub const SCHEMA_VERSION: u32 = 1;
 
 /// Environment variable overriding the default store directory.
 pub const STORE_DIR_ENV: &str = "WADE_STORE_DIR";
+
+/// Attempts per filesystem operation: the first try plus bounded retries
+/// of *transient* faults (`EINTR`/timeout/would-block — see
+/// [`is_transient`]). Persistent faults (`ENOSPC`, `EACCES`, …) fail
+/// immediately; retrying a full disk is noise.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// Base backoff between retry attempts, doubled per attempt
+/// (250 µs, 500 µs). Deterministic — no jitter — so fault-schedule replays
+/// issue the same operation sequence every run.
+pub const RETRY_BACKOFF: Duration = Duration::from_micros(250);
+
+/// Consecutive hard operation failures (retries exhausted or persistent
+/// kind) after which the store trips into degraded mode and consumers fall
+/// back to their in-memory paths.
+pub const DEGRADE_AFTER: u64 = 4;
+
+/// While degraded, every `PROBE_EVERY`-th operation is allowed through to
+/// the disk tier as a health probe; one success rejoins the tier.
+pub const PROBE_EVERY: u64 = 32;
 
 /// The default store directory when neither `--store-dir` nor
 /// [`STORE_DIR_ENV`] is given: `<CARGO_TARGET_DIR|target>/wade-store`.
@@ -90,8 +126,9 @@ pub fn global() -> Option<Arc<ArtifactStore>> {
 /// The first installation wins (the registry is a `OnceLock`); the
 /// installed store is returned either way.
 pub fn install_global(store: Arc<ArtifactStore>) -> Arc<ArtifactStore> {
-    let _ = global_slot().set(store);
-    global_slot().get().expect("just installed").clone()
+    let slot = global_slot();
+    let _ = slot.set(store.clone());
+    slot.get().cloned().unwrap_or(store)
 }
 
 fn global_slot() -> &'static OnceLock<Arc<ArtifactStore>> {
@@ -118,6 +155,80 @@ pub fn fingerprint64_salted(salt: &str, payload: &str) -> u64 {
     hasher.finish()
 }
 
+/// Why an entry that physically exists failed to read as a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptReason {
+    /// Header, schema version, payload length or payload hash failed — the
+    /// file is truncated, garbled or from a foreign schema.
+    Integrity,
+    /// The entry passed every integrity check but its payload no longer
+    /// deserializes into the requested type.
+    Payload,
+}
+
+/// Structured failure taxonomy of the store (replaces panic-on-error
+/// throughout the caching layers; ARCHITECTURE.md §12 is normative).
+///
+/// Consumers treating the store as a best-effort cache may discard these —
+/// every error leaves the store in a state where recomputing is correct —
+/// but the taxonomy keeps the *reason* observable for operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A filesystem operation failed after retry handling. `retries` is
+    /// how many re-attempts were burned before giving up (0 for persistent
+    /// kinds, which fail fast).
+    Io {
+        /// Which operation failed (`"read"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The final error kind.
+        kind: io::ErrorKind,
+        /// Retry attempts consumed before giving up.
+        retries: u32,
+    },
+    /// The value (or entry header) failed to serialize — nothing touched
+    /// the disk.
+    Encode {
+        /// Serializer error text.
+        what: String,
+    },
+    /// An entry exists on disk but failed verification; the read counts as
+    /// a miss and the next put heals the file.
+    Corrupt {
+        /// Artifact kind of the entry.
+        kind: String,
+        /// Path of the offending file.
+        path: PathBuf,
+        /// Which check failed.
+        reason: CorruptReason,
+    },
+    /// The store is in degraded mode (the disk tier failed
+    /// [`DEGRADE_AFTER`] consecutive operations) and skipped the disk;
+    /// the caller should use its in-memory path.
+    Degraded {
+        /// Which operation was skipped.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { op, path, kind, retries } => {
+                write!(f, "store {op} failed on {} ({kind:?}, {retries} retries)", path.display())
+            }
+            Self::Encode { what } => write!(f, "store encode failed: {what}"),
+            Self::Corrupt { kind, path, reason } => {
+                write!(f, "corrupt {kind} entry at {} ({reason:?})", path.display())
+            }
+            Self::Degraded { op } => write!(f, "store degraded: skipped {op}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 /// Metadata of one store entry, as listed by [`ArtifactStore::ls`].
 #[derive(Debug, Clone)]
 pub struct ArtifactMeta {
@@ -131,17 +242,25 @@ pub struct ArtifactMeta {
     /// Whether the entry passes every integrity check (schema version,
     /// fingerprint, payload length and hash).
     pub ok: bool,
+    /// Last access time, captured *before* the verification read (the
+    /// read itself bumps atime, which would erase the LRU ordering
+    /// [`ArtifactStore::gc_capped`] evicts by). `None` when unreadable.
+    pub accessed: Option<SystemTime>,
     /// Full path of the entry.
     pub path: PathBuf,
 }
 
-/// Summary of an [`ArtifactStore::gc`] pass.
+/// Summary of an [`ArtifactStore::gc`] / [`ArtifactStore::gc_capped`] pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GcReport {
     /// Entries that passed verification and were kept.
     pub kept: usize,
     /// Corrupt/foreign-version/stray entries removed.
     pub removed: usize,
+    /// Valid entries evicted by the LRU size cap (oldest access first).
+    pub evicted: usize,
+    /// Bytes of valid entries remaining after the pass.
+    pub bytes_kept: u64,
 }
 
 /// A content-addressed, versioned, disk-backed artifact store (see the
@@ -153,22 +272,44 @@ pub struct GcReport {
 #[derive(Debug)]
 pub struct ArtifactStore {
     root: PathBuf,
+    fs: Box<dyn StoreFs>,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
     writes: AtomicU64,
+    retries: AtomicU64,
+    io_errors: AtomicU64,
+    degraded_ops: AtomicU64,
+    consecutive_failures: AtomicU64,
+    degraded: AtomicBool,
+    probe_tick: AtomicU64,
 }
 
 impl ArtifactStore {
-    /// Opens (without touching the filesystem) a store rooted at `root`.
-    /// Directories are created lazily on the first write.
+    /// Opens (without touching the filesystem) a store rooted at `root`,
+    /// backed by the real filesystem. Directories are created lazily on
+    /// the first write.
     pub fn open(root: impl Into<PathBuf>) -> Self {
+        Self::open_with_fs(root, RealFs)
+    }
+
+    /// [`ArtifactStore::open`] with an explicit [`StoreFs`] backend —
+    /// the fault-injection seam ([`FaultyFs`] here subjects *every* store
+    /// code path to a deterministic fault schedule).
+    pub fn open_with_fs(root: impl Into<PathBuf>, fs: impl StoreFs + 'static) -> Self {
         Self {
             root: root.into(),
+            fs: Box::new(fs),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            degraded_ops: AtomicU64::new(0),
+            consecutive_failures: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            probe_tick: AtomicU64::new(0),
         }
     }
 
@@ -180,56 +321,80 @@ impl ArtifactStore {
     /// Reads the artifact stored under `(kind, key)`, verifying schema
     /// version, key fingerprint, payload length and payload hash. Any
     /// failure — missing file, truncation, garbling, foreign version, a
-    /// fingerprint-colliding foreign key, or a payload that no longer
-    /// deserializes — is a miss (corruption additionally increments
-    /// [`ArtifactStore::corrupt`]).
+    /// fingerprint-colliding foreign key, a payload that no longer
+    /// deserializes, or an I/O error that survives the retry budget — is a
+    /// miss (corruption additionally increments
+    /// [`ArtifactStore::corrupt`]). The structured reason is available via
+    /// [`ArtifactStore::try_get`].
     pub fn get<T: Deserialize>(&self, kind: &str, key: &str) -> Option<T> {
+        self.try_get(kind, key).unwrap_or(None)
+    }
+
+    /// [`ArtifactStore::get`] with the failure reason kept: `Ok(None)` is
+    /// a plain miss (absent entry or benign fingerprint collision),
+    /// `Err(_)` carries the [`StoreError`] taxonomy. Every error path
+    /// still maintains the hit/miss/corrupt counters, so `get` is exactly
+    /// `try_get(..).unwrap_or(None)`.
+    pub fn try_get<T: Deserialize>(&self, kind: &str, key: &str) -> Result<Option<T>, StoreError> {
         let path = self.entry_path(kind, key);
-        let bytes = match fs::read(&path) {
+        if !self.disk_allowed() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Degraded { op: "get" });
+        }
+        let bytes = match self.with_retry("read", &path, || self.fs.read(&path)) {
             Ok(b) => b,
-            Err(_) => {
+            Err(e) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
+                if matches!(e, StoreError::Io { kind: io::ErrorKind::NotFound, .. }) {
+                    return Ok(None);
+                }
+                return Err(e);
             }
         };
         match verify_entry(&bytes, kind, key) {
             Ok(payload) => match serde_json::from_str::<T>(payload) {
                 Ok(value) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    Some(value)
+                    Ok(Some(value))
                 }
-                Err(_) => self.miss_corrupt(),
+                Err(_) => Err(self.miss_corrupt(kind, path, CorruptReason::Payload)),
             },
             // A fingerprint collision with a *valid* foreign entry is a
             // plain miss, not corruption.
             Err(EntryError::ForeignKey) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Ok(None)
             }
-            Err(_) => self.miss_corrupt(),
+            Err(_) => Err(self.miss_corrupt(kind, path, CorruptReason::Integrity)),
         }
     }
 
-    fn miss_corrupt<T>(&self) -> Option<T> {
+    fn miss_corrupt(&self, kind: &str, path: PathBuf, reason: CorruptReason) -> StoreError {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.corrupt.fetch_add(1, Ordering::Relaxed);
-        None
+        StoreError::Corrupt { kind: kind.to_string(), path, reason }
     }
 
     /// Serializes `value` and atomically publishes it under `(kind, key)`,
     /// replacing any previous (or corrupt) entry.
     ///
     /// # Errors
-    /// Returns the underlying I/O error if the directory, temp file or
-    /// rename fails. Callers treating the store as a best-effort cache may
-    /// ignore it.
-    pub fn put<T: Serialize>(&self, kind: &str, key: &str, value: &T) -> io::Result<PathBuf> {
+    /// Returns the [`StoreError`] if serialization, the directory, the
+    /// temp file or the rename fails after retry handling, or when the
+    /// store is degraded and skipped the disk. Callers treating the store
+    /// as a best-effort cache may ignore it — the next read recomputes.
+    pub fn put<T: Serialize>(&self, kind: &str, key: &str, value: &T) -> Result<PathBuf, StoreError> {
         let payload = serde_json::to_string(value)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let entry = encode_entry(kind, key, &payload);
+            .map_err(|e| StoreError::Encode { what: e.to_string() })?;
+        let entry = encode_entry(kind, key, &payload)?;
+        if !self.disk_allowed() {
+            return Err(StoreError::Degraded { op: "put" });
+        }
         let path = self.entry_path(kind, key);
-        let dir = path.parent().expect("entry paths have a parent");
-        fs::create_dir_all(dir)?;
+        let Some(dir) = path.parent() else {
+            return Err(StoreError::Encode { what: format!("no parent for {}", path.display()) });
+        };
+        self.with_retry("create_dir_all", dir, || self.fs.create_dir_all(dir))?;
         // Atomic publish: temp file in the same directory, then rename.
         // The nonce is drawn with fetch_add so concurrent same-key puts
         // (deterministically identical content, e.g. racing profile-cache
@@ -242,13 +407,13 @@ impl ArtifactStore {
             std::process::id(),
             TMP_NONCE.fetch_add(1, Ordering::Relaxed),
         ));
-        fs::write(&tmp, entry.as_bytes())?;
-        match fs::rename(&tmp, &path) {
-            Ok(()) => {}
-            Err(e) => {
-                let _ = fs::remove_file(&tmp);
-                return Err(e);
-            }
+        if let Err(e) = self.with_retry("write", &tmp, || self.fs.write(&tmp, entry.as_bytes())) {
+            let _ = self.fs.remove_file(&tmp);
+            return Err(e);
+        }
+        if let Err(e) = self.with_retry("rename", &tmp, || self.fs.rename(&tmp, &path)) {
+            let _ = self.fs.remove_file(&tmp);
+            return Err(e);
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(path)
@@ -256,8 +421,8 @@ impl ArtifactStore {
 
     /// [`ArtifactStore::get`] with a compute-and-store fallback: on a miss
     /// the artifact is produced by `make`, published (best effort — an
-    /// unwritable store degrades to compute-every-time, never to failure)
-    /// and returned.
+    /// unwritable or degraded store falls back to compute-every-time,
+    /// never to failure) and returned.
     pub fn get_or_put<T: Serialize + Deserialize>(
         &self,
         kind: &str,
@@ -272,40 +437,114 @@ impl ArtifactStore {
         value
     }
 
+    /// Runs `f` with the retry/degradation state machine: transient faults
+    /// ([`is_transient`]) get up to [`MAX_ATTEMPTS`] tries with
+    /// deterministic doubling backoff; persistent faults fail fast. A hard
+    /// failure feeds the consecutive-failure count that trips degraded
+    /// mode; any success clears it. `NotFound` is exempt on both sides —
+    /// an absent file is the disk tier *working*, not failing.
+    fn with_retry<R>(
+        &self,
+        op: &'static str,
+        path: &Path,
+        mut f: impl FnMut() -> io::Result<R>,
+    ) -> Result<R, StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match f() {
+                Ok(value) => {
+                    self.note_ok();
+                    return Ok(value);
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    self.note_ok();
+                    return Err(StoreError::Io {
+                        op,
+                        path: path.to_path_buf(),
+                        kind: io::ErrorKind::NotFound,
+                        retries: attempt,
+                    });
+                }
+                Err(e) if is_transient(e.kind()) && attempt + 1 < MAX_ATTEMPTS => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(RETRY_BACKOFF * (1 << attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.note_failure();
+                    return Err(StoreError::Io {
+                        op,
+                        path: path.to_path_buf(),
+                        kind: e.kind(),
+                        retries: attempt,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Degradation gate: healthy stores always pass; a degraded store lets
+    /// every [`PROBE_EVERY`]-th operation through as a health probe and
+    /// short-circuits the rest (counted in
+    /// [`ArtifactStore::degraded_ops`]).
+    fn disk_allowed(&self) -> bool {
+        if !self.degraded.load(Ordering::Relaxed) {
+            return true;
+        }
+        let tick = self.probe_tick.fetch_add(1, Ordering::Relaxed);
+        if (tick + 1).is_multiple_of(PROBE_EVERY) {
+            return true;
+        }
+        self.degraded_ops.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    fn note_ok(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.degraded.store(false, Ordering::Relaxed);
+    }
+
+    fn note_failure(&self) {
+        let n = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= DEGRADE_AFTER {
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+    }
+
     /// Lists every entry in the store (including corrupt ones, flagged
     /// `ok: false`), sorted by (kind, path) for stable output.
     pub fn ls(&self) -> Vec<ArtifactMeta> {
         let mut out = Vec::new();
-        let Ok(kinds) = fs::read_dir(&self.root) else {
+        let Ok(kinds) = self.fs.read_dir(&self.root) else {
             return out;
         };
-        for kind_entry in kinds.flatten() {
-            let kind_path = kind_entry.path();
-            if !kind_path.is_dir() {
+        for kind_entry in kinds {
+            if !kind_entry.is_dir {
                 continue;
             }
-            let kind = kind_entry.file_name().to_string_lossy().into_owned();
-            let Ok(entries) = fs::read_dir(&kind_path) else {
+            let kind = kind_entry.name;
+            let kind_path = self.root.join(&kind);
+            let Ok(entries) = self.fs.read_dir(&kind_path) else {
                 continue;
             };
-            for entry in entries.flatten() {
-                let path = entry.path();
+            for entry in entries {
                 // Only files the store itself would have produced: a
                 // mispointed root must never get foreign files listed —
                 // or, through gc()/clear(), deleted.
-                let name = entry.file_name().to_string_lossy().into_owned();
-                if !path.is_file() || !is_store_file_name(&name) {
+                if !entry.is_file || !is_store_file_name(&entry.name) {
                     continue;
                 }
-                let file_bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                let path = kind_path.join(&entry.name);
+                let accessed = self.fs.accessed(&path).ok();
                 // Temp files are never valid entries, even when their
                 // content is self-consistent (a crash-orphaned temp was
                 // fully written but never renamed — `get` can't serve it,
                 // so `ok: true` would leak it past `gc` forever).
-                let (key, ok) = if name.starts_with(".tmp-") {
+                let (key, ok) = if entry.name.starts_with(".tmp-") {
                     (None, false)
                 } else {
-                    match fs::read(&path) {
+                    match self.fs.read(&path) {
                         Ok(bytes) => match inspect_entry(&bytes, &kind) {
                             Ok(key) => (Some(key), true),
                             Err(EntryError::Header(header)) => (header.map(|h| h.key), false),
@@ -314,7 +553,14 @@ impl ArtifactStore {
                         Err(_) => (None, false),
                     }
                 };
-                out.push(ArtifactMeta { kind: kind.clone(), key, file_bytes, ok, path });
+                out.push(ArtifactMeta {
+                    kind: kind.clone(),
+                    key,
+                    file_bytes: entry.len,
+                    ok,
+                    accessed,
+                    path,
+                });
             }
         }
         out.sort_by(|a, b| (a.kind.as_str(), &a.path).cmp(&(b.kind.as_str(), &b.path)));
@@ -329,24 +575,55 @@ impl ArtifactStore {
     /// rename them, and deleting an in-flight temp would make that rename
     /// fail and silently drop the artifact.
     pub fn gc(&self) -> GcReport {
+        self.gc_capped(None)
+    }
+
+    /// [`ArtifactStore::gc`] with an optional size budget: after corrupt
+    /// entries are dropped, valid entries are evicted **least-recently
+    /// accessed first** (atime, falling back to mtime on `noatime`
+    /// mounts; ties broken by path for determinism) until the store holds
+    /// at most `max_bytes`. Evicting a valid entry is always safe — the
+    /// next read is a miss that recomputes and republishes.
+    pub fn gc_capped(&self, max_bytes: Option<u64>) -> GcReport {
         let mut report = GcReport::default();
+        let mut live: Vec<ArtifactMeta> = Vec::new();
         for meta in self.ls() {
             if meta.ok {
-                report.kept += 1;
+                live.push(meta);
                 continue;
             }
             let is_tmp = meta
                 .path
                 .file_name()
                 .is_some_and(|n| n.to_string_lossy().starts_with(".tmp-"));
-            if is_tmp && !older_than(&meta.path, TMP_GC_GRACE) {
+            if is_tmp && !self.older_than(&meta.path, TMP_GC_GRACE) {
                 report.kept += 1;
                 continue;
             }
-            if fs::remove_file(&meta.path).is_ok() {
+            if self.fs.remove_file(&meta.path).is_ok() {
                 report.removed += 1;
             }
         }
+        let mut total: u64 = live.iter().map(|m| m.file_bytes).sum();
+        if let Some(cap) = max_bytes {
+            if total > cap {
+                let mut by_age: Vec<(SystemTime, ArtifactMeta)> = live
+                    .drain(..)
+                    .map(|m| (m.accessed.unwrap_or(SystemTime::UNIX_EPOCH), m))
+                    .collect();
+                by_age.sort_by(|a, b| (a.0, &a.1.path).cmp(&(b.0, &b.1.path)));
+                for (_, meta) in by_age {
+                    if total > cap && self.fs.remove_file(&meta.path).is_ok() {
+                        total -= meta.file_bytes;
+                        report.evicted += 1;
+                    } else {
+                        live.push(meta);
+                    }
+                }
+            }
+        }
+        report.kept += live.len();
+        report.bytes_kept = total;
         report
     }
 
@@ -358,15 +635,15 @@ impl ArtifactStore {
     pub fn clear(&self) -> u64 {
         let mut removed = 0u64;
         for meta in self.ls() {
-            if fs::remove_file(&meta.path).is_ok() {
+            if self.fs.remove_file(&meta.path).is_ok() {
                 removed += 1;
             }
             // Kind directories are dropped only once empty.
             if let Some(dir) = meta.path.parent() {
-                let _ = fs::remove_dir(dir);
+                let _ = self.fs.remove_dir(dir);
             }
         }
-        let _ = fs::remove_dir(&self.root);
+        let _ = self.fs.remove_dir(&self.root);
         removed
     }
 
@@ -375,7 +652,8 @@ impl ArtifactStore {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Failed reads (absent or corrupt entries) so far.
+    /// Failed reads (absent, corrupt, unreadable or degraded-skipped) so
+    /// far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
@@ -390,6 +668,51 @@ impl ArtifactStore {
         self.writes.load(Ordering::Relaxed)
     }
 
+    /// Transient-fault retry attempts burned so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Filesystem operations that failed after retry handling.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Operations short-circuited (disk skipped) while degraded.
+    pub fn degraded_ops(&self) -> u64 {
+        self.degraded_ops.load(Ordering::Relaxed)
+    }
+
+    /// Whether the store is currently in degraded mode (disk tier
+    /// considered unavailable; consumers run on their in-memory paths).
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Per-class counts of faults the backend has injected (all zero for
+    /// real backends) — surfaced next to hit/miss stats so torture runs
+    /// can report schedule activity.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fs.fault_counters()
+    }
+
+    /// Total faults the backend has injected (0 on [`RealFs`]).
+    pub fn faults_injected(&self) -> u64 {
+        self.fs.fault_counters().total()
+    }
+
+    /// Whether `path` was last modified more than `age` ago (unknown
+    /// mtimes count as old, so unreadable orphans still get collected).
+    fn older_than(&self, path: &Path, age: Duration) -> bool {
+        match self.fs.modified(path) {
+            Ok(modified) => match modified.elapsed() {
+                Ok(elapsed) => elapsed > age,
+                Err(_) => false, // mtime in the future: a live writer's file
+            },
+            Err(_) => true,
+        }
+    }
+
     fn entry_path(&self, kind: &str, key: &str) -> PathBuf {
         self.root.join(kind).join(format!("{:016x}.json", fingerprint64(key)))
     }
@@ -398,19 +721,7 @@ impl ArtifactStore {
 /// Grace period under which `gc` leaves temp files alone: any live writer
 /// renames its temp within milliseconds, so a minute-old temp can only be
 /// a crash orphan.
-pub const TMP_GC_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
-
-/// Whether `path` was last modified more than `age` ago (unknown mtimes
-/// count as old, so unreadable orphans still get collected).
-fn older_than(path: &Path, age: std::time::Duration) -> bool {
-    match fs::metadata(path).and_then(|m| m.modified()) {
-        Ok(modified) => match modified.elapsed() {
-            Ok(elapsed) => elapsed > age,
-            Err(_) => false, // mtime in the future: a live writer's file
-        },
-        Err(_) => true,
-    }
-}
+pub const TMP_GC_GRACE: Duration = Duration::from_secs(60);
 
 /// Whether a file name matches the shapes the store writes: a
 /// `<16-hex-digits>.json` entry or a `.tmp-…` scratch file. `ls`/`gc`/
@@ -446,7 +757,7 @@ enum EntryError {
     ForeignKey,
 }
 
-fn encode_entry(kind: &str, key: &str, payload: &str) -> String {
+fn encode_entry(kind: &str, key: &str, payload: &str) -> Result<String, StoreError> {
     let header = Header {
         schema: SCHEMA_VERSION,
         kind: kind.to_string(),
@@ -455,10 +766,11 @@ fn encode_entry(kind: &str, key: &str, payload: &str) -> String {
         payload_len: payload.len() as u64,
         payload_hash: fingerprint64(payload),
     };
-    let mut out = serde_json::to_string(&header).expect("header serializes");
+    let mut out = serde_json::to_string(&header)
+        .map_err(|e| StoreError::Encode { what: e.to_string() })?;
     out.push('\n');
     out.push_str(payload);
-    out
+    Ok(out)
 }
 
 /// Full verification against an expected `(kind, key)`: returns the payload
@@ -502,16 +814,25 @@ fn split_entry(bytes: &[u8]) -> Result<(Header, &str), EntryError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     /// A scratch store in a unique temp directory, removed on drop.
     struct Scratch(ArtifactStore);
 
     impl Scratch {
         fn new(tag: &str) -> Self {
+            Self(ArtifactStore::open(Self::dir(tag)))
+        }
+
+        fn with_fs(tag: &str, fs: impl StoreFs + 'static) -> Self {
+            Self(ArtifactStore::open_with_fs(Self::dir(tag), fs))
+        }
+
+        fn dir(tag: &str) -> PathBuf {
             let dir = std::env::temp_dir()
                 .join(format!("wade-store-unit-{}-{tag}", std::process::id()));
             let _ = fs::remove_dir_all(&dir);
-            Self(ArtifactStore::open(dir))
+            dir
         }
     }
 
@@ -541,6 +862,8 @@ mod tests {
         assert!(s.0.get::<u64>("kind", "nope").is_none());
         assert_eq!(s.0.misses(), 1);
         assert_eq!(s.0.corrupt(), 0);
+        assert_eq!(s.0.io_errors(), 0, "an absent file is not an I/O failure");
+        assert!(!s.0.degraded());
     }
 
     #[test]
@@ -562,6 +885,11 @@ mod tests {
         fs::write(&path, &full[..full.len() - 2]).unwrap();
         assert!(s.0.get::<Vec<u64>>("k", "key").is_none(), "truncation must be a miss");
         assert_eq!(s.0.corrupt(), 1);
+        // try_get surfaces the structured reason.
+        match s.0.try_get::<Vec<u64>>("k", "key") {
+            Err(StoreError::Corrupt { reason: CorruptReason::Integrity, .. }) => {}
+            other => panic!("expected Corrupt/Integrity, got {other:?}"),
+        }
         // The next put atomically replaces the poisoned file.
         s.0.put("k", "key", &vec![1u64, 2, 3]).unwrap();
         assert_eq!(s.0.get::<Vec<u64>>("k", "key"), Some(vec![1, 2, 3]));
@@ -607,7 +935,7 @@ mod tests {
         let path = s.0.put("k", "key-a", &1u64).unwrap();
         // Forge a fingerprint collision: a fully valid entry for a
         // different key placed at key-a's path.
-        let forged = encode_entry("k", "key-b", "2");
+        let forged = encode_entry("k", "key-b", "2").unwrap();
         fs::write(&path, forged).unwrap();
         assert!(s.0.get::<u64>("k", "key-a").is_none());
         assert_eq!(s.0.corrupt(), 0, "a valid foreign entry is not corruption");
@@ -646,7 +974,8 @@ mod tests {
         assert!(ls.iter().any(|m| m.key.as_deref() == Some("k1") && m.kind == "alpha"));
 
         let gc = s.0.gc();
-        assert_eq!(gc, GcReport { kept: 2, removed: 1 });
+        assert_eq!((gc.kept, gc.removed, gc.evicted), (2, 1, 0));
+        assert!(gc.bytes_kept > 0);
         assert_eq!(s.0.ls().len(), 2);
         assert!(foreign.exists(), "gc must not touch foreign files");
 
@@ -663,7 +992,7 @@ mod tests {
         // A crash-orphaned temp with fully valid entry content: written
         // but never renamed, so `get` can never serve it.
         let orphan = s.0.root().join("k").join(".tmp-deadbeef-1-0");
-        fs::write(&orphan, encode_entry("k", "other-key", "2")).unwrap();
+        fs::write(&orphan, encode_entry("k", "other-key", "2").unwrap()).unwrap();
 
         let ls = s.0.ls();
         assert_eq!(ls.len(), 2);
@@ -674,17 +1003,203 @@ mod tests {
 
         // Fresh temp: inside the grace period, a concurrent writer may be
         // about to rename it — gc must leave it alone.
-        assert_eq!(s.0.gc(), GcReport { kept: 2, removed: 0 });
+        let gc = s.0.gc();
+        assert_eq!((gc.kept, gc.removed), (2, 0));
         assert!(orphan.exists());
 
         // Age it past the grace period: now it is a crash orphan.
-        let old = std::time::SystemTime::now() - (TMP_GC_GRACE + TMP_GC_GRACE);
+        let old = SystemTime::now() - (TMP_GC_GRACE + TMP_GC_GRACE);
         let file = fs::File::options().write(true).open(&orphan).unwrap();
         file.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
         drop(file);
-        assert_eq!(s.0.gc(), GcReport { kept: 1, removed: 1 });
+        let gc = s.0.gc();
+        assert_eq!((gc.kept, gc.removed), (1, 1));
         assert!(!orphan.exists());
         assert_eq!(s.0.get::<u64>("k", "key"), Some(1), "real entry untouched");
+    }
+
+    #[test]
+    fn lru_cap_evicts_oldest_accessed_first() {
+        let s = Scratch::new("lru");
+        let old = s.0.put("k", "old", &vec![1u64; 64]).unwrap();
+        let mid = s.0.put("k", "mid", &vec![2u64; 64]).unwrap();
+        let new = s.0.put("k", "new", &vec![3u64; 64]).unwrap();
+        // Sizes via metadata — an ls() here would *read* the entries and
+        // bump the very atimes this test stamps next.
+        let one = fs::metadata(&old).unwrap().len();
+        let total: u64 = [&old, &mid, &new]
+            .iter()
+            .map(|p| fs::metadata(p).unwrap().len())
+            .sum();
+        // Stamp distinct access times so the LRU order is unambiguous.
+        let now = SystemTime::now();
+        for (path, age_s) in [(&old, 3000u64), (&mid, 2000), (&new, 1000)] {
+            let f = fs::File::options().write(true).open(path).unwrap();
+            f.set_times(fs::FileTimes::new().set_accessed(now - Duration::from_secs(age_s)))
+                .unwrap();
+        }
+
+        // Cap that fits two entries: exactly the oldest-accessed goes.
+        let gc = s.0.gc_capped(Some(total - 1));
+        assert_eq!((gc.kept, gc.removed, gc.evicted), (2, 0, 1));
+        assert!(!old.exists(), "oldest-accessed entry must be evicted first");
+        assert!(mid.exists() && new.exists());
+        assert_eq!(gc.bytes_kept, total - one);
+
+        // Cap of zero: everything valid is evicted; the store still works.
+        let gc = s.0.gc_capped(Some(0));
+        assert_eq!((gc.kept, gc.evicted, gc.bytes_kept), (0, 2, 0));
+        assert!(s.0.get::<Vec<u64>>("k", "new").is_none());
+        s.0.put("k", "new", &vec![3u64; 64]).unwrap();
+        assert_eq!(s.0.get::<Vec<u64>>("k", "new"), Some(vec![3; 64]));
+
+        // No cap: pure corruption gc, nothing evicted.
+        let gc = s.0.gc_capped(None);
+        assert_eq!((gc.kept, gc.evicted), (1, 0));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_counted() {
+        // Every injected fault is transient, so with a modest rate the
+        // retry budget absorbs most of them; whatever still fails must
+        // never corrupt a read (miss or exact value only).
+        let s = Scratch::with_fs(
+            "retry",
+            FaultyFs::new(RealFs, FaultPlan::transient_only(17, 0.3)),
+        );
+        let mut stored = 0u32;
+        for i in 0..30u64 {
+            if s.0.put("k", &format!("key{i}"), &(i * 7)).is_ok() {
+                stored += 1;
+            }
+        }
+        assert!(stored > 0, "retries must save some puts at a 30% rate");
+        assert!(s.0.retries() > 0, "a 30% transient schedule must trigger retries");
+        for i in 0..30u64 {
+            if let Some(v) = s.0.get::<u64>("k", &format!("key{i}")) {
+                assert_eq!(v, i * 7, "a hit must be the exact value");
+            }
+        }
+        assert!(s.0.faults_injected() > 0);
+    }
+
+    /// A backend whose first `fail_first` operations fail with `EACCES`,
+    /// then heals — deterministic trip-and-recover.
+    #[derive(Debug)]
+    struct HealingFs {
+        inner: RealFs,
+        remaining: AtomicU64,
+    }
+
+    impl HealingFs {
+        fn failing(n: u64) -> Self {
+            Self { inner: RealFs, remaining: AtomicU64::new(n) }
+        }
+
+        /// Consumes one tick of sickness; `true` while the disk is down.
+        fn sick(&self) -> bool {
+            self.remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+        }
+
+        fn down() -> io::Error {
+            io::Error::new(io::ErrorKind::PermissionDenied, "sick disk")
+        }
+    }
+
+    impl StoreFs for HealingFs {
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            if self.sick() {
+                return Err(Self::down());
+            }
+            self.inner.read(path)
+        }
+
+        fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+            if self.sick() {
+                return Err(Self::down());
+            }
+            self.inner.write(path, data)
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.inner.rename(from, to)
+        }
+
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            self.inner.remove_file(path)
+        }
+
+        fn remove_dir(&self, path: &Path) -> io::Result<()> {
+            self.inner.remove_dir(path)
+        }
+
+        fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+            if self.sick() {
+                return Err(Self::down());
+            }
+            self.inner.create_dir_all(path)
+        }
+
+        fn read_dir(&self, path: &Path) -> io::Result<Vec<DirEntryInfo>> {
+            self.inner.read_dir(path)
+        }
+
+        fn modified(&self, path: &Path) -> io::Result<SystemTime> {
+            self.inner.modified(path)
+        }
+
+        fn accessed(&self, path: &Path) -> io::Result<SystemTime> {
+            self.inner.accessed(path)
+        }
+    }
+
+    #[test]
+    fn degradation_trips_then_probe_recovers() {
+        let s = Scratch::with_fs("degrade", HealingFs::failing(DEGRADE_AFTER));
+        // Persistent failures fail fast (no retry burn) and trip the gate.
+        for i in 0..DEGRADE_AFTER {
+            assert!(s.0.get::<u64>("k", &format!("k{i}")).is_none());
+        }
+        assert!(s.0.degraded(), "DEGRADE_AFTER hard failures must trip degraded mode");
+        assert_eq!(s.0.io_errors(), DEGRADE_AFTER);
+
+        // While degraded most operations skip the disk entirely…
+        let before = s.0.degraded_ops();
+        let mut probes = 0;
+        for i in 0..(2 * PROBE_EVERY) {
+            match s.0.try_get::<u64>("k", &format!("skip{i}")) {
+                Err(StoreError::Degraded { .. }) => {}
+                Ok(None) => probes += 1, // a probe reached the healed disk
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(s.0.degraded_ops() > before, "skipped ops must be counted");
+        assert!(probes >= 1, "the probe gate must let some operations through");
+        // …and the first successful probe rejoined the tier.
+        assert!(!s.0.degraded(), "a healed disk must clear degraded mode");
+        s.0.put("k", "after", &9u64).unwrap();
+        assert_eq!(s.0.get::<u64>("k", "after"), Some(9));
+    }
+
+    #[test]
+    fn degraded_put_reports_structured_error() {
+        let s = Scratch::with_fs("degraded-put", HealingFs::failing(u64::MAX / 2));
+        for i in 0..DEGRADE_AFTER {
+            let _ = s.0.put("k", &format!("k{i}"), &1u64);
+        }
+        assert!(s.0.degraded());
+        let mut saw_degraded = false;
+        for i in 0..PROBE_EVERY {
+            if matches!(
+                s.0.put("k", &format!("later{i}"), &1u64),
+                Err(StoreError::Degraded { op: "put" })
+            ) {
+                saw_degraded = true;
+            }
+        }
+        assert!(saw_degraded, "degraded puts must report StoreError::Degraded");
     }
 
     #[test]

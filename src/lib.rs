@@ -21,6 +21,7 @@
 //! | [`features`] | `wade-features` | 249-feature schema + Spearman + Table III sets |
 //! | [`ml`] | `wade-ml` | KNN / ε-SVR / random forests / LOWO-CV |
 //! | [`store`] | `wade-store` | disk-backed, fingerprint-keyed artifact store |
+//! | [`fault`] | `wade-fault` | deterministic fault injection (`StoreFs` seam, seeded schedules) |
 //!
 //! # Quick start
 //!
@@ -67,6 +68,7 @@
 pub use wade_core as core;
 pub use wade_dram as dram;
 pub use wade_ecc as ecc;
+pub use wade_fault as fault;
 pub use wade_features as features;
 pub use wade_memsys as memsys;
 pub use wade_ml as ml;
