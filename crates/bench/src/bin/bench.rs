@@ -37,6 +37,13 @@
 //!   [--fault-rate F]` — drive a *scratch* store (never the real one)
 //!   through a deterministic fault schedule and assert the no-corruption
 //!   invariant (exit 1 on any wrong-value read)
+//!
+//! Serving subcommand:
+//!
+//! * `bench serve load [--threads T] [--requests N] [--seed S]` — drive
+//!   the seeded load generator against a live in-process wade-serve
+//!   instance and verify every response byte-for-byte against direct
+//!   `predict_rows` (exit 1 on any error or mismatch)
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -58,8 +65,8 @@ use wade_workloads::{full_suite, paper_suite, Scale};
 /// values never masquerade as subcommands, and collected for the store
 /// subcommands. `--store-dir`'s validity stays enforced by
 /// `wade_bench::store_dir()`.
-const VALUE_FLAGS: [&str; 6] =
-    ["--store-dir", "--seed", "--ops", "--threads", "--fault-rate", "--max-bytes"];
+const VALUE_FLAGS: [&str; 7] =
+    ["--store-dir", "--seed", "--ops", "--threads", "--fault-rate", "--max-bytes", "--requests"];
 
 fn main() {
     // Positional args, skipping flags and their values — so
@@ -91,6 +98,10 @@ fn main() {
     }
     if positional.first() == Some(&"store") {
         store_command(positional.get(1).copied(), &flags);
+        return;
+    }
+    if positional.first() == Some(&"serve") {
+        serve_command(positional.get(1).copied(), &flags);
         return;
     }
     let out_path = positional.first().unwrap_or(&"BENCH_sim.json").to_string();
@@ -418,6 +429,25 @@ fn main() {
         fault_healthy.ok() && fault_faulty.ok(),
     ));
 
+    // The serving layer: a deterministic load mix (pure in the seed)
+    // against a live wade-serve instance on a loopback socket, with every
+    // 200 body compared byte-for-byte against serializing the registry's
+    // own `predict_rows` on the same rows.
+    eprintln!("[bench] serving: seeded load over live HTTP vs direct predict_batch …");
+    let (serve_threads, serve_requests) = if smoke { (4usize, 64u64) } else { (8, 256) };
+    let serve_seed = 11u64;
+    let (serve_report, serve_hist) = serve_load(serve_threads, serve_requests, serve_seed);
+    sections.push(format!(
+        "    \"serving\": {{\n      \"threads\": {serve_threads},\n      \"requests\": {serve_requests},\n      \"seed\": {serve_seed},\n      \"rows\": {},\n      \"p50_latency_ms\": {:.3},\n      \"p99_latency_ms\": {:.3},\n      \"throughput_rps\": {:.1},\n      \"batch_size_hist\": [{}],\n      \"no_errors\": {},\n      \"byte_identical\": {}\n    }}",
+        serve_report.rows,
+        serve_report.p50_ms,
+        serve_report.p99_ms,
+        serve_report.throughput_rps,
+        serve_hist.iter().map(u64::to_string).collect::<Vec<_>>().join(","),
+        serve_report.errors == 0,
+        serve_report.mismatches == 0,
+    ));
+
     let json = format!(
         "{{\n  \"schema\": \"wade-bench-sim/1\",\n  \"threads\": {threads},\n  \"results\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n")
@@ -548,6 +578,72 @@ fn store_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
             eprintln!(
                 "usage: bench store <ls|gc [--max-bytes N]|clear|torture [--seed N] \
                  [--ops M] [--threads T] [--fault-rate F]> [--store-dir DIR]   (got {other:?})"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Boots an in-process wade-serve instance over a fresh Test-scale
+/// campaign (store-free: the bench must not warm or depend on the real
+/// store) and drives the seeded load generator against it with golden
+/// verification on. Returns the load report and the server's batch-size
+/// histogram.
+fn serve_load(threads: usize, requests: u64, seed: u64) -> (wade_serve::LoadReport, Vec<u64>) {
+    let data = Campaign::new(SimulatedServer::with_seed(5), CampaignConfig::quick())
+        .collect(&paper_suite(Scale::Test), 8);
+    let mut server =
+        wade_serve::Server::start(wade_serve::ServeConfig::default(), data.clone(), None)
+            .expect("bind loopback serving socket");
+    let report = wade_serve::run_load(
+        server.addr(),
+        &data,
+        Some(server.registry().as_ref()),
+        wade_serve::LoadConfig { threads, requests, seed },
+    )
+    .expect("drive load against the loopback server");
+    let hist = server.metrics().batch_histogram();
+    server.shutdown();
+    (report, hist)
+}
+
+/// `bench serve load [--threads T] [--requests N] [--seed S]`: the seeded
+/// load generator against a live in-process server, with byte-identity
+/// against direct `predict_rows` verified per response. Exits 1 on any
+/// error or mismatch — the CI smoke gate.
+fn serve_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
+    match action {
+        Some("load") => {
+            let threads = flag_num(flags, "--threads", 4usize);
+            let requests = flag_num(flags, "--requests", 256u64);
+            let seed = flag_num(flags, "--seed", 11u64);
+            eprintln!(
+                "[serve] load: {threads} threads × {requests} total requests, seed {seed}"
+            );
+            let (report, hist) = serve_load(threads, requests, seed);
+            println!(
+                "serve load: {} requests ({} rows) in {:.1} ms — p50 {:.3} ms, \
+                 p99 {:.3} ms, {:.0} req/s",
+                report.requests,
+                report.rows,
+                report.elapsed_ms,
+                report.p50_ms,
+                report.p99_ms,
+                report.throughput_rps,
+            );
+            println!(
+                "serve load: batch-size histogram {hist:?}, {} errors, {} mismatches",
+                report.errors, report.mismatches,
+            );
+            if report.errors > 0 || report.mismatches > 0 {
+                eprintln!("serve load: FAIL — served bytes diverged from direct predictions");
+                std::process::exit(1);
+            }
+            println!("serve load: OK — byte-identical to direct predict_batch");
+        }
+        other => {
+            eprintln!(
+                "usage: bench serve load [--threads T] [--requests N] [--seed S]   (got {other:?})"
             );
             std::process::exit(2);
         }

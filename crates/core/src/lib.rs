@@ -47,7 +47,10 @@ pub use collect::{
     MIN_CE_COUNT,
 };
 pub use error::WadeError;
-pub use model::{train_error_model, AnyModel, ErrorModel, MlKind, TRAINER_CONFIG_VERSION};
+pub use model::{
+    serving_model_keys, train_error_model, train_error_model_stored, AnyModel, ErrorModel,
+    MlKind, Prediction, TRAINER_CONFIG_VERSION,
+};
 pub use predictor::{
     evaluate_pue_accuracy, evaluate_wer_accuracy, AccuracyReport, EvalGrid, MODEL_KIND,
 };

@@ -2,13 +2,15 @@
 
 use crate::campaign::CampaignData;
 use crate::collect::{build_pue_dataset, build_wer_dataset, op_augmented_row};
+use crate::predictor::{dataset_id, model_store_key, pue_key, wer_key, MODEL_KIND};
 use wade_dram::{OperatingPoint, RANK_COUNT};
 use wade_features::{FeatureSet, FeatureVector};
 use serde::{Deserialize, Serialize};
 use wade_ml::{
-    ForestRegressor, ForestTrainer, KnnRegressor, KnnTrainer, Regressor, SvrRegressor,
+    Dataset, ForestRegressor, ForestTrainer, KnnRegressor, KnnTrainer, Regressor, SvrRegressor,
     SvrTrainer, Trainer,
 };
+use wade_store::ArtifactStore;
 
 /// Version of the paper-default trainer configurations
 /// ([`wade_ml::KnnTrainer::paper_default`] and the SVR/forest siblings)
@@ -183,6 +185,58 @@ impl ErrorModel {
             None => 0.0,
         }
     }
+
+    /// Predicts a whole batch of rows through [`Regressor::predict_batch`]
+    /// (one batched call per trained rank model plus one for the PUE
+    /// model), byte-identical to calling [`ErrorModel::predict_wer`] /
+    /// [`ErrorModel::predict_pue`] row by row: rows are independent, and
+    /// `predict_batch` is byte-identical to the serial per-row map
+    /// (`tests/ml_parallel.rs`), so a row's prediction does not depend on
+    /// which other rows share its batch — the contract the serving layer's
+    /// micro-batching queue rests on.
+    pub fn predict_rows(&self, rows: &[(FeatureVector, OperatingPoint)]) -> Vec<Prediction> {
+        let augmented: Vec<Vec<f64>> =
+            rows.iter().map(|(f, op)| op_augmented_row(f, self.set, *op)).collect();
+        let per_rank: Vec<Option<Vec<f64>>> = self
+            .wer_models
+            .iter()
+            .map(|m| {
+                m.as_ref().map(|model| {
+                    model.predict_batch(&augmented).iter().map(|p| 10f64.powf(*p)).collect()
+                })
+            })
+            .collect();
+        let pue: Option<Vec<f64>> = self
+            .pue_model
+            .as_ref()
+            .map(|m| m.predict_batch(&augmented).iter().map(|p| p.clamp(0.0, 1.0)).collect());
+        (0..rows.len())
+            .map(|i| {
+                let wer_per_rank: Vec<f64> = per_rank
+                    .iter()
+                    .map(|r| r.as_ref().map_or(0.0, |v| v[i]))
+                    .collect();
+                Prediction {
+                    wer_total: wer_per_rank.iter().sum(),
+                    wer_per_rank,
+                    pue: pue.as_ref().map_or(0.0, |v| v[i]),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One row's full prediction bundle, as produced by
+/// [`ErrorModel::predict_rows`] — and, byte-for-byte, by the serving
+/// layer's `POST /predict` (the golden contract of `tests/serving.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Per-rank WER (eq. 1), `0.0` for ranks without a trained model.
+    pub wer_per_rank: Vec<f64>,
+    /// Server-aggregate WER: the sum of the per-rank predictions.
+    pub wer_total: f64,
+    /// Probability of an uncorrectable error for a 2-hour run, in `[0, 1]`.
+    pub pue: f64,
 }
 
 impl ErrorModel {
@@ -233,6 +287,75 @@ pub fn train_error_model(data: &CampaignData, kind: MlKind, set: FeatureSet) -> 
         Some(kind.train_any(&pue_ds.features(), &pue_ds.targets()))
     };
     ErrorModel { kind, set, wer_models, pue_model }
+}
+
+/// [`train_error_model`] through an [`ArtifactStore`]: every per-rank WER
+/// model and the PUE model is first looked up under its canonical key
+/// (kind [`crate::MODEL_KIND`]; trainer config [`TRAINER_CONFIG_VERSION`],
+/// dataset content fingerprint, fold `""` = trained on all samples — the
+/// same scheme [`crate::EvalGrid`] uses for fold models) and only trained
+/// on a miss, after which the trained model is published best-effort. A
+/// degraded, faulty or absent store falls back to in-process training, so
+/// the result is **always** byte-identical to [`train_error_model`] (the
+/// store round-trips `f64` exactly); `tests/serving.rs` asserts this cold
+/// and warm.
+pub fn train_error_model_stored(
+    store: Option<&ArtifactStore>,
+    data: &CampaignData,
+    kind: MlKind,
+    set: FeatureSet,
+) -> ErrorModel {
+    let train_via_store = |slot: u64, ds: &Dataset| -> AnyModel {
+        let train = || kind.train_any(&ds.features(), &ds.targets());
+        match (store, dataset_id(slot, ds)) {
+            (Some(store), Some(id)) => {
+                let key = model_store_key(kind, &id, "");
+                if let Some(model) = store.get::<AnyModel>(MODEL_KIND, &key) {
+                    return model;
+                }
+                let model = train();
+                let _ = store.put(MODEL_KIND, &key, &model);
+                model
+            }
+            _ => train(),
+        }
+    };
+    let mut wer_models = Vec::with_capacity(RANK_COUNT);
+    for rank in 0..RANK_COUNT {
+        let ds = build_wer_dataset(data, set, rank);
+        if ds.len() < 4 {
+            wer_models.push(None);
+        } else {
+            wer_models.push(Some(train_via_store(wer_key(set, rank), &ds)));
+        }
+    }
+    let pue_ds = build_pue_dataset(data, set);
+    let pue_model =
+        if pue_ds.len() < 4 { None } else { Some(train_via_store(pue_key(set), &pue_ds)) };
+    ErrorModel { kind, set, wer_models, pue_model }
+}
+
+/// The canonical store keys (kind [`crate::MODEL_KIND`]) of the artifacts
+/// a [`train_error_model_stored`] call reads and writes for this `(data,
+/// kind, set)` combination: one per trainable rank (in rank order) plus
+/// the PUE model, skipping targets whose dataset fails the training guard
+/// or whose identity fails to serialize. The serving layer polls exactly
+/// these entries (through the [`StoreFs`](wade_store::StoreFs) seam) to
+/// detect model swaps and hot-reload.
+pub fn serving_model_keys(data: &CampaignData, kind: MlKind, set: FeatureSet) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut push = |slot: u64, ds: &Dataset| {
+        if ds.len() >= 4 {
+            if let Some(id) = dataset_id(slot, ds) {
+                keys.push(model_store_key(kind, &id, ""));
+            }
+        }
+    };
+    for rank in 0..RANK_COUNT {
+        push(wer_key(set, rank), &build_wer_dataset(data, set, rank));
+    }
+    push(pue_key(set), &build_pue_dataset(data, set));
+    keys
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ pub const MODEL_KIND: &str = "model";
 /// content fingerprint of the training dataset (which folds in the
 /// campaign data, the feature set, the target and every protocol filter),
 /// and the held-out group of the fold (empty = trained on all samples).
-fn model_store_key(kind: MlKind, dataset_id: &str, fold: &str) -> String {
+pub(crate) fn model_store_key(kind: MlKind, dataset_id: &str, fold: &str) -> String {
     format!("model|trainer={}|dataset={}|fold={}", kind.store_tag(), dataset_id, fold)
 }
 
@@ -51,7 +51,7 @@ fn model_store_key(kind: MlKind, dataset_id: &str, fold: &str) -> String {
 /// Returns `None` if the dataset fails to serialize; the affected cell
 /// then trains in-process without store persistence instead of aborting
 /// the whole grid.
-fn dataset_id(slot: u64, ds: &Dataset) -> Option<String> {
+pub(crate) fn dataset_id(slot: u64, ds: &Dataset) -> Option<String> {
     let json = serde_json::to_string(ds).ok()?;
     let lo = wade_store::fingerprint64_salted("wade-dataset-a|", &json);
     let hi = wade_store::fingerprint64_salted("wade-dataset-b|", &json);
@@ -94,11 +94,11 @@ pub struct EvalGrid {
 /// grids: 16 slots per feature set, slot 15 = PUE.
 const _: () = assert!(RANK_COUNT <= 15, "rank keys would collide with the PUE slot");
 
-fn wer_key(set: FeatureSet, rank: usize) -> u64 {
+pub(crate) fn wer_key(set: FeatureSet, rank: usize) -> u64 {
     set_index(set) * 16 + rank as u64
 }
 
-fn pue_key(set: FeatureSet) -> u64 {
+pub(crate) fn pue_key(set: FeatureSet) -> u64 {
     set_index(set) * 16 + 15
 }
 

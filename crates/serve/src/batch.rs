@@ -1,0 +1,179 @@
+//! Micro-batching between request handlers and the model.
+//!
+//! Handlers enqueue [`Job`]s; a single batcher thread drains whatever is
+//! queued at each wake-up (natural batching — no artificial delay),
+//! groups the drained jobs by model kind, concatenates their rows into
+//! one [`wade_core::ErrorModel::predict_rows`] call per kind, and splits
+//! the predictions back per job. Rows are predicted independently, so
+//! batching is invisible in the output — the byte-identity contract of
+//! the crate docs rests on that.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+use wade_core::{MlKind, Prediction};
+use wade_dram::OperatingPoint;
+use wade_features::FeatureVector;
+
+use crate::metrics::Metrics;
+use crate::models::ModelRegistry;
+
+/// One handler's rows waiting for a prediction.
+pub(crate) struct Job {
+    /// Which model family to predict with.
+    pub kind: MlKind,
+    /// The validated rows, in request order.
+    pub rows: Vec<(FeatureVector, OperatingPoint)>,
+    /// Where the per-row predictions go; dropped on batcher panic, which
+    /// the handler observes as a `RecvError` and answers with a 500.
+    pub reply: mpsc::Sender<Vec<Prediction>>,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// A condvar-backed FIFO shared by handlers and the batcher thread.
+pub(crate) struct BatchQueue {
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+impl BatchQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(State { jobs: VecDeque::new(), open: true }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; returns `false` when the queue is already closed
+    /// (server shutting down), in which case the job is dropped.
+    pub(crate) fn push(&self, job: Job) -> bool {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        if !state.open {
+            return false;
+        }
+        state.jobs.push_back(job);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for work, then drains up to `max_jobs` queued jobs. Returns
+    /// `None` once the queue is closed and empty — the batcher's exit
+    /// signal (pending jobs are still served first).
+    pub(crate) fn take_batch(&self, max_jobs: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        loop {
+            if !state.jobs.is_empty() {
+                let n = state.jobs.len().min(max_jobs.max(1));
+                return Some(state.jobs.drain(..n).collect());
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.ready.wait(state).expect("batch queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and the batcher exits after
+    /// draining what is already queued.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        state.open = false;
+        self.ready.notify_all();
+    }
+}
+
+/// The batcher loop: drain, group by kind, predict, split, reply.
+/// Runs until [`BatchQueue::close`]; a panic inside one batch (e.g. a
+/// poisoned model invariant) is caught so the batcher keeps serving.
+pub(crate) fn run_batcher(
+    queue: &BatchQueue,
+    registry: &Arc<ModelRegistry>,
+    metrics: &Arc<Metrics>,
+    max_jobs: usize,
+) {
+    while let Some(jobs) = queue.take_batch(max_jobs) {
+        let registry = Arc::clone(registry);
+        let metrics = Arc::clone(metrics);
+        // On panic the jobs' reply senders are dropped, so every waiting
+        // handler sees a RecvError and answers 500; the batcher survives.
+        let _ = catch_unwind(AssertUnwindSafe(move || serve_jobs(jobs, &registry, &metrics)));
+    }
+}
+
+fn serve_jobs(mut jobs: Vec<Job>, registry: &ModelRegistry, metrics: &Metrics) {
+    for kind in MlKind::ALL {
+        let group: Vec<Job> = {
+            let mut group = Vec::new();
+            let mut rest = Vec::new();
+            for job in jobs {
+                if job.kind == kind {
+                    group.push(job);
+                } else {
+                    rest.push(job);
+                }
+            }
+            jobs = rest;
+            group
+        };
+        if group.is_empty() {
+            continue;
+        }
+        let mut all_rows: Vec<(FeatureVector, OperatingPoint)> = Vec::new();
+        let mut splits: Vec<(usize, mpsc::Sender<Vec<Prediction>>)> = Vec::new();
+        for job in group {
+            splits.push((job.rows.len(), job.reply));
+            all_rows.extend(job.rows);
+        }
+        let model = registry.model(kind);
+        let predictions = model.predict_rows(&all_rows);
+        metrics.record_batch(all_rows.len() as u64);
+        let mut it = predictions.into_iter();
+        for (n, reply) in splits {
+            let chunk: Vec<Prediction> = it.by_ref().take(n).collect();
+            // A handler that timed out and went away is not an error.
+            let _ = reply.send(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_queue_rejects_pushes_and_wakes_the_batcher() {
+        let queue = BatchQueue::new();
+        queue.close();
+        let (tx, _rx) = mpsc::channel();
+        assert!(!queue.push(Job { kind: MlKind::Knn, rows: Vec::new(), reply: tx }));
+        assert!(queue.take_batch(8).is_none());
+    }
+
+    #[test]
+    fn pending_jobs_drain_before_the_close_signal() {
+        let queue = BatchQueue::new();
+        let (tx, _rx) = mpsc::channel();
+        assert!(queue.push(Job { kind: MlKind::Svm, rows: Vec::new(), reply: tx }));
+        queue.close();
+        let batch = queue.take_batch(8).expect("queued job survives close");
+        assert_eq!(batch.len(), 1);
+        assert!(queue.take_batch(8).is_none());
+    }
+
+    #[test]
+    fn take_batch_caps_at_max_jobs() {
+        let queue = BatchQueue::new();
+        for _ in 0..5 {
+            let (tx, _rx) = mpsc::channel();
+            queue.push(Job { kind: MlKind::Rdf, rows: Vec::new(), reply: tx });
+        }
+        assert_eq!(queue.take_batch(2).expect("batch").len(), 2);
+        assert_eq!(queue.take_batch(99).expect("batch").len(), 3);
+    }
+}

@@ -1,0 +1,331 @@
+//! The long-running server: accept loop, worker pool, routes, shutdown.
+//!
+//! Topology: one accept thread feeds connections to a fixed worker pool
+//! through a channel; each worker runs a keep-alive loop per connection.
+//! `POST /predict` handlers enqueue into the [`BatchQueue`] and block on
+//! their reply channel; one batcher thread owns all model dispatch. An
+//! optional watcher thread polls the store for artifact changes and
+//! hot-swaps the in-memory models. Every handler path is panic-isolated:
+//! a panicking connection kills that connection, never the server.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wade_core::CampaignData;
+use wade_features::FeatureSet;
+use wade_store::ArtifactStore;
+
+use crate::batch::{run_batcher, BatchQueue, Job};
+use crate::http::{read_request, write_response, Request, RequestError};
+use crate::metrics::Metrics;
+use crate::models::ModelRegistry;
+use crate::protocol::{feature_set_label, parse_model_kind, PredictRequest, PredictResponse};
+
+/// Tunables of one [`Server`] instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks a free port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Feature set the served models are trained on.
+    pub set: FeatureSet,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Request-body bound; larger declared bodies answer `413`.
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout; an idle keep-alive connection is dropped
+    /// after this long.
+    pub read_timeout: Duration,
+    /// Most jobs one batcher wake-up drains into a single model call.
+    pub max_batch_jobs: usize,
+    /// Hot-reload poll interval; `None` disables the watcher thread
+    /// ([`ModelRegistry::poll_reload`] can still be driven manually).
+    pub reload_poll: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            set: FeatureSet::Set1,
+            workers: 8,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            max_batch_jobs: 32,
+            reload_poll: None,
+        }
+    }
+}
+
+/// A running inference server; dropping it shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    queue: Arc<BatchQueue>,
+    stop: Arc<AtomicBool>,
+    watcher_gate: Arc<(Mutex<bool>, Condvar)>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, boots the models (loading from `store` or training cold)
+    /// and starts serving.
+    ///
+    /// # Errors
+    /// The bind error when `config.addr` is unavailable.
+    pub fn start(
+        config: ServeConfig,
+        data: CampaignData,
+        store: Option<Arc<ArtifactStore>>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(ModelRegistry::new(data, config.set, store));
+        let metrics = Arc::new(Metrics::new());
+        let queue = Arc::new(BatchQueue::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let watcher_gate = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // conn_tx drops here; workers drain and exit.
+            })
+        };
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let queue = Arc::clone(&queue);
+                let config = config.clone();
+                std::thread::spawn(move || loop {
+                    let stream = {
+                        let rx = conn_rx.lock().expect("connection channel poisoned");
+                        rx.recv()
+                    };
+                    let Ok(stream) = stream else { break };
+                    // A panicking connection (bad model invariant, …)
+                    // must not take the worker down with it.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        handle_connection(stream, &config, &registry, &metrics, &queue);
+                    }));
+                })
+            })
+            .collect();
+
+        let batcher = {
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            let max_jobs = config.max_batch_jobs;
+            std::thread::spawn(move || run_batcher(&queue, &registry, &metrics, max_jobs))
+        };
+
+        let watcher = config.reload_poll.map(|period| {
+            let gate = Arc::clone(&watcher_gate);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || loop {
+                let (lock, cond) = &*gate;
+                let stopped = lock.lock().expect("watcher gate poisoned");
+                let (stopped, _) =
+                    cond.wait_timeout(stopped, period).expect("watcher gate poisoned");
+                if *stopped {
+                    break;
+                }
+                drop(stopped);
+                metrics.record_reloads(registry.poll_reload());
+            })
+        });
+
+        Ok(Self {
+            addr,
+            registry,
+            metrics,
+            queue,
+            stop,
+            watcher_gate,
+            accept: Some(accept),
+            workers,
+            batcher: Some(batcher),
+            watcher,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The served model snapshots (e.g. to compute golden expectations or
+    /// drive [`ModelRegistry::poll_reload`] manually in tests).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Stops accepting, drains in-flight work and joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.queue.close();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        let (lock, cond) = &*self.watcher_gate;
+        if let Ok(mut stopped) = lock.lock() {
+            *stopped = true;
+            cond.notify_all();
+        }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Keep-alive loop over one connection: read, route, answer, repeat.
+fn handle_connection(
+    mut stream: TcpStream,
+    config: &ServeConfig,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    queue: &BatchQueue,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let request = match read_request(&mut stream, config.max_body_bytes) {
+            Ok(request) => request,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
+            Err(RequestError::Malformed(reason)) => {
+                metrics.record_request(400);
+                let _ = write_response(&mut stream, 400, "Bad Request", &error_body(reason), false);
+                return;
+            }
+            Err(RequestError::TooLarge) => {
+                metrics.record_request(413);
+                let body = error_body("body exceeds the configured bound");
+                let _ = write_response(&mut stream, 413, "Content Too Large", &body, false);
+                return;
+            }
+        };
+        let keep_alive = !request.wants_close();
+        let (status, reason, body) = route(&request, registry, metrics, queue);
+        metrics.record_request(status);
+        if write_response(&mut stream, status, reason, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatches one parsed request to `(status, reason, body)`.
+fn route(
+    request: &Request,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    queue: &BatchQueue,
+) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"set\":\"{}\",\"degraded\":{}}}",
+                feature_set_label(registry.set()),
+                registry.degraded(),
+            );
+            (200, "OK", body)
+        }
+        ("GET", "/metrics") => (200, "OK", metrics.render_json(registry.degraded())),
+        ("POST", "/predict") => predict(request, registry, metrics, queue),
+        _ => (404, "Not Found", error_body("no such route")),
+    }
+}
+
+/// The `POST /predict` handler: validate, enqueue, await the batcher.
+fn predict(
+    request: &Request,
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    queue: &BatchQueue,
+) -> (u16, &'static str, String) {
+    let started = Instant::now();
+    let bad = |reason: &'static str| (400, "Bad Request", error_body(reason));
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return bad("body is not UTF-8");
+    };
+    let Ok(parsed) = serde_json::from_str::<PredictRequest>(text) else {
+        return bad("body is not a predict request");
+    };
+    let Some(kind) = parse_model_kind(&parsed.model) else {
+        return bad("unknown model label");
+    };
+    let mut rows = Vec::with_capacity(parsed.rows.len());
+    for row in parsed.rows {
+        match row.into_input() {
+            Ok(input) => rows.push(input),
+            Err(reason) => return bad(reason),
+        }
+    }
+    let n_rows = rows.len() as u64;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if !queue.push(Job { kind, rows, reply: reply_tx }) {
+        return (503, "Service Unavailable", error_body("server shutting down"));
+    }
+    let Ok(predictions) = reply_rx.recv() else {
+        // Batcher panicked on this batch; the queue itself survives.
+        return (500, "Internal Server Error", error_body("prediction failed"));
+    };
+    let response = PredictResponse {
+        model: kind.label().to_string(),
+        set: feature_set_label(registry.set()).to_string(),
+        rows: predictions,
+    };
+    let body = serde_json::to_string(&response).expect("response serializes");
+    metrics.record_predict(n_rows, started.elapsed().as_micros() as u64);
+    (200, "OK", body)
+}
+
+fn error_body(reason: &str) -> String {
+    format!("{{\"error\":\"{reason}\"}}")
+}

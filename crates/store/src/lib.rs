@@ -647,6 +647,25 @@ impl ArtifactStore {
         removed
     }
 
+    /// The last-modified time of the entry stored under `(kind, key)`,
+    /// through the [`StoreFs`] seam — so fault schedules and the
+    /// degradation gate apply to stamp probes exactly as to reads. `None`
+    /// when the entry is absent, the probe failed after retry handling, or
+    /// the store is degraded and skipped the disk; callers polling for
+    /// change (the serving layer's hot-reload watcher) must treat `None`
+    /// as "no change observed", never as "entry deleted".
+    ///
+    /// The stamp is a cheap *change hint*: a reload triggered by it still
+    /// re-reads through [`ArtifactStore::get`], whose integrity checks are
+    /// what actually guard the payload.
+    pub fn entry_stamp(&self, kind: &str, key: &str) -> Option<SystemTime> {
+        if !self.disk_allowed() {
+            return None;
+        }
+        let path = self.entry_path(kind, key);
+        self.with_retry("modified", &path, || self.fs.modified(&path)).ok()
+    }
+
     /// Successful reads served so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -1200,6 +1219,39 @@ mod tests {
             }
         }
         assert!(saw_degraded, "degraded puts must report StoreError::Degraded");
+    }
+
+    #[test]
+    fn entry_stamp_tracks_rewrites_and_absence() {
+        let s = Scratch::new("stamp");
+        assert!(s.0.entry_stamp("k", "key").is_none(), "absent entry has no stamp");
+        let path = s.0.put("k", "key", &1u64).unwrap();
+        let first = s.0.entry_stamp("k", "key").expect("stamp after put");
+        // Rewrites move the stamp (backdate the file rather than sleeping
+        // across mtime granularity).
+        let old = first - Duration::from_secs(10);
+        let f = fs::File::options().write(true).open(&path).unwrap();
+        f.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
+        drop(f);
+        let backdated = s.0.entry_stamp("k", "key").expect("stamp after backdate");
+        assert!(backdated < first);
+        s.0.put("k", "key", &2u64).unwrap();
+        let rewritten = s.0.entry_stamp("k", "key").expect("stamp after rewrite");
+        assert!(rewritten > backdated, "a rewrite must move the stamp forward");
+    }
+
+    #[test]
+    fn entry_stamp_respects_the_degradation_gate() {
+        let s = Scratch::with_fs("stamp-degraded", HealingFs::failing(u64::MAX / 2));
+        for i in 0..DEGRADE_AFTER {
+            let _ = s.0.get::<u64>("k", &format!("k{i}"));
+        }
+        assert!(s.0.degraded());
+        let before = s.0.degraded_ops();
+        for _ in 0..4 {
+            assert!(s.0.entry_stamp("k", "key").is_none());
+        }
+        assert!(s.0.degraded_ops() > before, "degraded stamp probes must be gated");
     }
 
     #[test]

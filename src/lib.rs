@@ -72,6 +72,7 @@ pub use wade_fault as fault;
 pub use wade_features as features;
 pub use wade_memsys as memsys;
 pub use wade_ml as ml;
+pub use wade_serve as serve;
 pub use wade_store as store;
 pub use wade_trace as trace;
 pub use wade_workloads as workloads;
