@@ -70,6 +70,20 @@ fn bench_store_round_trip(c: &mut Criterion) {
             black_box(store.get::<wade_core::ErrorModel>("model", "bench-model").expect("hit"))
         })
     });
+    // The deserialization halves of a warm read, head to head: the
+    // streaming slice-cursor path `get` actually runs vs the tree-building
+    // reference (parse to a `Value`, then convert) it replaced.
+    let payload = serde_json::to_string(&model).unwrap();
+    group.bench_function("model/deserialize_streaming", |b| {
+        b.iter(|| {
+            black_box(serde_json::from_str::<wade_core::ErrorModel>(&payload).unwrap())
+        })
+    });
+    group.bench_function("model/deserialize_tree_reference", |b| {
+        b.iter(|| {
+            black_box(serde_json::from_str_value::<wade_core::ErrorModel>(&payload).unwrap())
+        })
+    });
     // A corrupt read (the integrity-check failure path) must stay cheap:
     // it is paid on every poisoned or foreign entry before recompute.
     let poisoned = store.put("model", "bench-poisoned", &model).unwrap();

@@ -36,6 +36,7 @@ mod campaign;
 mod collect;
 mod error;
 mod model;
+pub mod pool;
 mod predictor;
 mod profile_cache;
 mod server;

@@ -18,7 +18,12 @@ use wade_store::ArtifactStore;
 /// or training-algorithm change** (a re-baselining event for trained
 /// models), so fold models persisted under the old configuration read as
 /// misses instead of stale hits.
-pub const TRAINER_CONFIG_VERSION: u32 = 1;
+///
+/// v2: forest models serialize their flat node arena
+/// ([`wade_ml::ForestRegressor`]) instead of pointer trees, so v1 `model`
+/// artifacts must read as misses and be re-trained (then re-published) in
+/// arena form.
+pub const TRAINER_CONFIG_VERSION: u32 = 2;
 
 /// The three supervised learners compared in the paper (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -117,6 +122,17 @@ impl Regressor for AnyModel {
             AnyModel::Knn(m) => m.predict(features),
             AnyModel::Svr(m) => m.predict(features),
             AnyModel::Rdf(m) => m.predict(features),
+        }
+    }
+
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        // Delegate so batches reach the inner models' own fan-out policy
+        // (the default trait impl would re-dispatch per row through the
+        // enum match instead).
+        match self {
+            AnyModel::Knn(m) => m.predict_batch(rows),
+            AnyModel::Svr(m) => m.predict_batch(rows),
+            AnyModel::Rdf(m) => m.predict_batch(rows),
         }
     }
 }

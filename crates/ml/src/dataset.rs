@@ -94,6 +94,34 @@ impl Dataset {
         (train, test)
     }
 
+    /// Splits directly into the `(train_x, train_y, test_x, test_y)`
+    /// matrices trainers consume, leaving out one group. Equivalent to
+    /// `split_leave_group_out` followed by `features()`/`targets()` on both
+    /// halves — same rows, same order — but with a single clone per sample
+    /// instead of two (the intermediate `Dataset`s cloned every `Sample`
+    /// only to be cloned again into matrices; this is the EvalGrid hot
+    /// path).
+    #[allow(clippy::type_complexity)]
+    pub fn split_xy_leave_group_out(
+        &self,
+        group: &str,
+    ) -> (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>) {
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_x = Vec::new();
+        let mut test_y = Vec::new();
+        for s in &self.samples {
+            if s.group == group {
+                test_x.push(s.features.clone());
+                test_y.push(s.target);
+            } else {
+                train_x.push(s.features.clone());
+                train_y.push(s.target);
+            }
+        }
+        (train_x, train_y, test_x, test_y)
+    }
+
     /// Column `j` across all samples (for correlation studies).
     pub fn column(&self, j: usize) -> Vec<f64> {
         self.samples.iter().map(|s| s.features[j]).collect()

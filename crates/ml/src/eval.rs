@@ -206,14 +206,13 @@ impl<'a> EvalGrid<'a> {
     /// the held-out samples.
     fn run_unit(&self, di: usize, group: &str) -> Vec<Option<GroupCvOutcome>> {
         let (dkey, ds) = &self.datasets[di];
-        let (train, test) = ds.split_leave_group_out(group);
-        if train.len() < self.min_train || test.is_empty() {
+        // Split straight into matrices: the intermediate Dataset halves of
+        // `split_leave_group_out` would clone every sample a second time on
+        // the way to `features()`/`targets()`, and this runs per fold.
+        let (train_x, train_y, test_x, actuals) = ds.split_xy_leave_group_out(group);
+        if train_x.len() < self.min_train || test_x.is_empty() {
             return vec![None; self.trainers.len()];
         }
-        let train_x = train.features();
-        let train_y = train.targets();
-        let test_x = test.features();
-        let actuals = test.targets();
         self.trainers
             .iter()
             .map(|(tkey, train_fn)| {

@@ -9,7 +9,7 @@
 //! count (`tests/ml_parallel.rs` pins this).
 
 use crate::model::{validate_training_input, Regressor, Trainer};
-use crate::tree::{DecisionTree, TreeParams};
+use crate::tree::{DecisionTree, TreeParams, ARENA_LEAF};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -40,10 +40,12 @@ impl ForestTrainer {
     }
 }
 
-impl Trainer for ForestTrainer {
-    type Model = ForestRegressor;
-
-    fn train(&self, x: &[Vec<f64>], y: &[f64]) -> ForestRegressor {
+impl ForestTrainer {
+    /// Trains the pointer-tree form of the forest — the byte-identity
+    /// reference that the flat-arena [`ForestRegressor`] is re-laid from.
+    /// The RNG streams here are the determinism contract; the arena step
+    /// never touches them.
+    pub fn train_pointer(&self, x: &[Vec<f64>], y: &[f64]) -> PointerForest {
         let dim = validate_training_input(x, y);
         let n = x.len();
         let mtry = if self.params.mtry == 0 {
@@ -67,7 +69,15 @@ impl Trainer for ForestTrainer {
                 DecisionTree::grow(x, y, &idx, params, &mut rng)
             })
             .collect();
-        ForestRegressor { trees }
+        PointerForest { trees }
+    }
+}
+
+impl Trainer for ForestTrainer {
+    type Model = ForestRegressor;
+
+    fn train(&self, x: &[Vec<f64>], y: &[f64]) -> ForestRegressor {
+        ForestRegressor::from_pointer(&self.train_pointer(x, y))
     }
 }
 
@@ -82,23 +92,113 @@ fn tree_seed(seed: u64, t: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A trained forest: predictions average the trees.
+/// A trained forest in pointer-tree form: predictions average the trees.
+///
+/// This is what training produces and the reference path the flat-arena
+/// [`ForestRegressor`] is checked against (`tests/` pin bit-identity of the
+/// two for every row). The hot paths — `AnyModel`, serving, the stored
+/// artifacts — all use the arena form; keep this one for training,
+/// verification and benchmarks.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ForestRegressor {
+pub struct PointerForest {
     trees: Vec<DecisionTree>,
 }
 
-impl ForestRegressor {
+impl PointerForest {
     /// Number of trees in the ensemble.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The individual trees (introspection and arena construction).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+}
+
+impl Regressor for PointerForest {
+    fn predict(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+/// A trained forest re-laid into a contiguous structure-of-arrays node
+/// arena: per node a `u16` feature index (`u16::MAX` marks a leaf), an
+/// `f64` threshold (leaf value for leaves) and a `u32` right-child index
+/// (the left child is always the next node, preorder). Trees are
+/// concatenated with their roots in `roots`, in tree-index order.
+///
+/// Prediction walks the arrays with no pointer chasing and predictions are
+/// bit-identical to [`PointerForest`]: the same comparisons against the
+/// same thresholds in the same order, and the same left-to-right summation
+/// over trees. This arena — not the pointer tree — is what `AnyModel`
+/// serializes, so `model` artifacts and serving snapshots carry the compact
+/// form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestRegressor {
+    node_features: Vec<u16>,
+    node_thresholds: Vec<f64>,
+    node_rights: Vec<u32>,
+    roots: Vec<u32>,
+}
+
+impl ForestRegressor {
+    /// Re-lays a pointer-tree forest into arena form (a pure re-layout:
+    /// node values are copied verbatim, only the addressing changes).
+    pub fn from_pointer(forest: &PointerForest) -> Self {
+        let mut node_features = Vec::new();
+        let mut node_thresholds = Vec::new();
+        let mut node_rights = Vec::new();
+        let roots = forest
+            .trees()
+            .iter()
+            .map(|t| t.flatten_into(&mut node_features, &mut node_thresholds, &mut node_rights))
+            .collect();
+        Self { node_features, node_thresholds, node_rights, roots }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all trees (arena length).
+    pub fn node_count(&self) -> usize {
+        self.node_features.len()
     }
 }
 
 impl Regressor for ForestRegressor {
     fn predict(&self, features: &[f64]) -> f64 {
-        let sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
-        sum / self.trees.len() as f64
+        let mut sum = 0.0;
+        for &root in &self.roots {
+            let mut i = root as usize;
+            loop {
+                let f = self.node_features[i];
+                if f == ARENA_LEAF {
+                    sum += self.node_thresholds[i];
+                    break;
+                }
+                i = if features[f as usize] <= self.node_thresholds[i] {
+                    i + 1
+                } else {
+                    self.node_rights[i] as usize
+                };
+            }
+        }
+        sum / self.roots.len() as f64
+    }
+
+    /// Query rows are independent, so the batch fans out on the shared
+    /// rayon pool (order-stable merge — byte-identical to the serial loop
+    /// at any thread count). Single-row batches, and pools whose effective
+    /// parallelism is 1, stay inline: the dispatch cannot buy concurrency.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.len() < 2 || rayon::effective_parallelism() == 1 {
+            return rows.iter().map(|r| self.predict(r)).collect();
+        }
+        rows.par_iter().map(|r| self.predict(r)).collect()
     }
 }
 
@@ -163,5 +263,40 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn zero_trees_panics() {
         ForestTrainer::new(0);
+    }
+
+    #[test]
+    fn arena_is_bit_identical_to_pointer_trees() {
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, ((i * 13) % 17) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 7) % 11) as f64).collect();
+        let trainer = ForestTrainer::new(20);
+        let pointer = trainer.train_pointer(&x, &y);
+        let arena = ForestRegressor::from_pointer(&pointer);
+        assert_eq!(arena.tree_count(), pointer.tree_count());
+        assert!(arena.node_count() >= arena.tree_count());
+        for row in &x {
+            assert_eq!(
+                arena.predict(row).to_bits(),
+                pointer.predict(row).to_bits(),
+                "arena and pointer walks diverged on {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trainer_output_is_the_arena_form() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i % 4) as f64).collect();
+        let trainer = ForestTrainer::new(5);
+        let arena = trainer.train(&x, &y);
+        let reference = ForestRegressor::from_pointer(&trainer.train_pointer(&x, &y));
+        let batch = arena.predict_batch(&x);
+        let serial: Vec<f64> = x.iter().map(|r| reference.predict(r)).collect();
+        assert_eq!(batch.len(), serial.len());
+        for (a, b) in batch.iter().zip(serial.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -55,7 +55,7 @@ pub use baseline::{ConstantModel, ConstantTrainer};
 pub use cv::{leave_one_group_out, GroupCvOutcome};
 pub use eval::{CellOutcome, EvalGrid, ModelCache, ModelKey, SharedModel, TrainFn};
 pub use dataset::{Dataset, Sample};
-pub use forest::{ForestRegressor, ForestTrainer};
+pub use forest::{ForestRegressor, ForestTrainer, PointerForest};
 pub use knn::{KnnRegressor, KnnTrainer};
 pub use model::{Regressor, Trainer};
 pub use scale::StandardScaler;

@@ -81,6 +81,60 @@ impl DecisionTree {
         }
         d(&self.root)
     }
+
+    /// Appends this tree's nodes to the forest's SoA arena in preorder and
+    /// returns the root's arena index. Layout convention: a split's left
+    /// child is the next node (`i + 1`), its right child is `rights[i]`;
+    /// leaves carry [`ARENA_LEAF`] in `features`, their value in
+    /// `thresholds`, and their **own index** in `rights` — a leaf
+    /// self-loops, so `rights` is total (no dummy sentinel) and a walk
+    /// that steps a parked node stays parked. Preorder is a pure function
+    /// of the tree shape, so the arena is as deterministic as the tree it
+    /// came from.
+    pub(crate) fn flatten_into(
+        &self,
+        features: &mut Vec<u16>,
+        thresholds: &mut Vec<f64>,
+        rights: &mut Vec<u32>,
+    ) -> u32 {
+        let root = u32::try_from(features.len()).expect("arena exceeds u32 node indices");
+        flatten(&self.root, features, thresholds, rights);
+        root
+    }
+}
+
+/// Sentinel feature index marking a leaf in the flat-arena encoding.
+pub(crate) const ARENA_LEAF: u16 = u16::MAX;
+
+fn flatten(
+    node: &Node,
+    features: &mut Vec<u16>,
+    thresholds: &mut Vec<f64>,
+    rights: &mut Vec<u32>,
+) {
+    match node {
+        Node::Leaf { value } => {
+            let me = u32::try_from(features.len()).expect("arena exceeds u32 node indices");
+            features.push(ARENA_LEAF);
+            thresholds.push(*value);
+            rights.push(me);
+        }
+        Node::Split { feature, threshold, left, right } => {
+            assert!(
+                *feature < ARENA_LEAF as usize,
+                "feature index {feature} overflows the u16 arena encoding"
+            );
+            let me = features.len();
+            features.push(*feature as u16);
+            thresholds.push(*threshold);
+            // Placeholder: the right child's index is known only after the
+            // left subtree is laid out.
+            rights.push(0);
+            flatten(left, features, thresholds, rights);
+            rights[me] = u32::try_from(features.len()).expect("arena exceeds u32 node indices");
+            flatten(right, features, thresholds, rights);
+        }
+    }
 }
 
 fn mean(y: &[f64], idx: &[usize]) -> f64 {
@@ -116,8 +170,13 @@ fn build(
 
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
     for &feat in &features {
+        // The node's (feature value, target) pairs, cached once per
+        // feature: the candidate loop below scans them ~|idx| times, and
+        // reading `x[i][feat]` through two indirections each time is what
+        // the scan's cost was made of.
+        let pairs: Vec<(f64, f64)> = idx.iter().map(|&i| (x[i][feat], y[i])).collect();
         // Candidate thresholds: midpoints of sorted unique values.
-        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][feat]).collect();
+        let mut vals: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         vals.dedup();
         if vals.len() < 2 {
@@ -125,18 +184,33 @@ fn build(
         }
         for w in vals.windows(2) {
             let threshold = (w[0] + w[1]) / 2.0;
-            let (mut left, mut right) = (Vec::new(), Vec::new());
-            for &i in idx {
-                if x[i][feat] <= threshold {
-                    left.push(i);
+            // Fused allocation-free partition: each side's sums accumulate
+            // in the same (idx-filtered) order the materialized left/right
+            // index vectors produced, so every mean, SSE and gain below is
+            // bit-identical to the historical two-vector scan.
+            let (mut sum_l, mut n_l, mut sum_r, mut n_r) = (0.0f64, 0usize, 0.0f64, 0usize);
+            for &(v, t) in &pairs {
+                if v <= threshold {
+                    sum_l += t;
+                    n_l += 1;
                 } else {
-                    right.push(i);
+                    sum_r += t;
+                    n_r += 1;
                 }
             }
-            if left.is_empty() || right.is_empty() {
+            if n_l == 0 || n_r == 0 {
                 continue;
             }
-            let gain = parent_sse - sse(y, &left) - sse(y, &right);
+            let (m_l, m_r) = (sum_l / n_l as f64, sum_r / n_r as f64);
+            let (mut sse_l, mut sse_r) = (0.0f64, 0.0f64);
+            for &(v, t) in &pairs {
+                if v <= threshold {
+                    sse_l += (t - m_l).powi(2);
+                } else {
+                    sse_r += (t - m_r).powi(2);
+                }
+            }
+            let gain = parent_sse - sse_l - sse_r;
             // Duplicate gains break ties on the lowest (feature, threshold)
             // pair, so the chosen split never depends on the order the
             // shuffled feature subset was visited in — the grown tree is a

@@ -6,8 +6,10 @@
 //! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
 //! [`criterion_group!`] / [`criterion_main!`] macros — with a simple but
 //! honest measurement loop: a calibration pass sizes the iteration count to
-//! a fixed wall-clock budget, then the median of several timed samples is
-//! reported.
+//! a fixed wall-clock budget, then several timed samples are taken and the
+//! median after MAD outlier rejection is reported (samples farther than
+//! 3×MAD from the raw median — a scheduler hiccup, a page-cache miss — are
+//! dropped; kept/total counts are recorded in the JSONL).
 //!
 //! Environment knobs:
 //! * `WADE_BENCH_MS` — per-benchmark measurement budget in milliseconds
@@ -106,11 +108,15 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughp
         };
         iters = grow.max(iters * 2);
     };
-    // Measurement: several samples at the calibrated count; report median.
+    // Measurement: several samples at the calibrated count, then median +
+    // MAD outlier rejection so a single scheduler hiccup cannot swing
+    // sub-5% comparisons. The shorter the per-sample window, the noisier a
+    // sample is, so take more of them (the calibration already bounded the
+    // per-sample cost to ~budget/4).
     let iters_per_sample = ((budget.as_secs_f64() / 4.0) / per_iter.max(1e-12))
         .ceil()
         .max(1.0) as u64;
-    let mut samples: Vec<f64> = (0..3)
+    let mut samples: Vec<f64> = (0..5)
         .map(|_| {
             let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
             f(&mut b);
@@ -118,7 +124,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughp
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = samples[samples.len() / 2];
+    let (median, kept, total) = median_mad_trim(&samples);
 
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => format!("  {}/s", fmt_rate(n as f64 / median, "B")),
@@ -128,7 +134,27 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughp
         None => String::new(),
     };
     println!("{name:<50} {:>12}/iter{rate}", fmt_time(median));
-    append_jsonl(name, median);
+    append_jsonl(name, median, kept, total);
+}
+
+/// Median with MAD (median absolute deviation) outlier rejection: samples
+/// farther than 3×MAD from the raw median are dropped, and the median of
+/// the survivors is reported. Returns `(median, kept, total)`. With MAD of
+/// zero (perfectly repeatable samples) nothing is rejected. `samples` must
+/// be sorted.
+fn median_mad_trim(samples: &[f64]) -> (f64, usize, usize) {
+    let total = samples.len();
+    let raw_median = samples[total / 2];
+    let mut deviations: Vec<f64> = samples.iter().map(|s| (s - raw_median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = deviations[total / 2];
+    if mad <= 0.0 {
+        return (raw_median, total, total);
+    }
+    let kept: Vec<f64> =
+        samples.iter().copied().filter(|s| (s - raw_median).abs() <= 3.0 * mad).collect();
+    // `samples` is sorted, so the filtered run is sorted too.
+    (kept[kept.len() / 2], kept.len(), total)
 }
 
 fn fmt_time(seconds: f64) -> String {
@@ -155,7 +181,7 @@ fn fmt_rate(rate: f64, unit: &str) -> String {
     }
 }
 
-fn append_jsonl(name: &str, seconds_per_iter: f64) {
+fn append_jsonl(name: &str, seconds_per_iter: f64, samples_kept: usize, samples_total: usize) {
     // cargo runs bench binaries with CWD = the package dir, so a bare
     // relative "target" would scatter per-crate target dirs; resolve the
     // workspace target by walking up to the directory holding Cargo.lock.
@@ -192,7 +218,7 @@ fn append_jsonl(name: &str, seconds_per_iter: f64) {
     if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
         let _ = writeln!(
             file,
-            "{{\"benchmark\":{name:?},\"seconds_per_iter\":{seconds_per_iter}}}"
+            "{{\"benchmark\":{name:?},\"seconds_per_iter\":{seconds_per_iter},\"samples_kept\":{samples_kept},\"samples_total\":{samples_total}}}"
         );
     }
 }

@@ -14,7 +14,7 @@
 //! inline without spawning.
 
 use std::cell::Cell;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 thread_local! {
     static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
@@ -30,7 +30,22 @@ pub fn current_num_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    physical_parallelism()
+}
+
+/// The machine's physical parallelism (cached `available_parallelism`).
+fn physical_parallelism() -> usize {
+    static PHYSICAL: OnceLock<usize> = OnceLock::new();
+    *PHYSICAL.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The parallelism fan-outs will actually achieve right now: the configured
+/// width ([`current_num_threads`]) capped at the machine's physical
+/// parallelism. An 8-thread pool on a 1-core host reports 1 here — callers
+/// (and the internal map dispatch) use this to skip spawn/queue overhead
+/// that cannot buy any concurrency.
+pub fn effective_parallelism() -> usize {
+    current_num_threads().min(physical_parallelism())
 }
 
 /// Error type for [`ThreadPoolBuilder::build`] (never produced; mirrors the
@@ -126,8 +141,15 @@ where
 {
     let len = items.len();
     let width = current_num_threads();
-    let workers = width.min(len);
+    // Workers beyond the machine's physical parallelism cannot run
+    // concurrently; they only add spawn + queue-contention cost (the
+    // "8-thread pool on a 1-core container" regression). The *configured*
+    // width still propagates to nested work below, so results remain
+    // byte-identical — only the dispatch changes.
+    let workers = width.min(len).min(physical_parallelism());
     if workers <= 1 {
+        // Inline on the caller's thread: its install-scoped width is still
+        // visible to nested parallel work, so results are unchanged.
         return items.into_iter().map(f).collect();
     }
     let queue = Mutex::new(items.into_iter().enumerate());
@@ -293,17 +315,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel worker panicked")]
     fn worker_panic_propagates() {
+        // A panicking item must abort the whole map, whether dispatch ran
+        // workers or fell back to inline (worker count depends on the
+        // machine's physical parallelism, so don't pin the message).
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        pool.install(|| {
-            let _: Vec<usize> = (0..16usize)
-                .into_par_iter()
-                .map(|i| {
-                    assert!(i != 7, "boom");
-                    i
-                })
-                .collect();
+        let outcome = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                let _: Vec<usize> = (0..16usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        assert!(i != 7, "boom");
+                        i
+                    })
+                    .collect();
+            });
         });
+        assert!(outcome.is_err(), "panic in item closure must propagate");
+    }
+
+    #[test]
+    fn effective_parallelism_is_capped_by_hardware() {
+        let physical = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let wide = ThreadPoolBuilder::new().num_threads(physical + 7).build().unwrap();
+        // The configured width is still reported verbatim…
+        assert_eq!(wide.install(current_num_threads), physical + 7);
+        // …but the achievable fan-out is capped at the hardware.
+        assert_eq!(wide.install(effective_parallelism), physical);
+        let narrow = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(narrow.install(effective_parallelism), 1);
     }
 }

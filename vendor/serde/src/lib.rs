@@ -9,6 +9,21 @@
 //! structs and enums using serde's externally-tagged conventions, so the
 //! emitted JSON matches what upstream serde_json would produce for the
 //! same types.
+//!
+//! # Streaming reads
+//!
+//! Building a [`Value`] tree for a multi-megabyte artifact allocates a
+//! boxed node per number before any typed data exists, which dominated
+//! warm store-read cost. [`Deserialize::from_json`] is the streaming
+//! alternative: it decodes `Self` directly from a [`JsonCursor`] over the
+//! JSON text, token by token, with the exact same token-level semantics as
+//! the tree path (number classification, escape handling, shape errors).
+//! Primitive and container impls here — and everything the derive macro
+//! generates — override it; the provided default parses a value tree and
+//! delegates to [`Deserialize::from_value`], so hand-written impls remain
+//! correct without opting in. `serde_json::from_str` drives the streaming
+//! path; `serde_json::from_str_value` keeps the tree path as the reference
+//! implementation the equivalence tests compare against.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -73,13 +88,431 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Types that rebuild from a [`Value`] tree.
+/// Types that rebuild from a [`Value`] tree — and, for the streaming path,
+/// directly from JSON text.
 pub trait Deserialize: Sized {
     /// Rebuilds `Self`, validating shape and types.
     ///
     /// # Errors
     /// Returns [`DeError`] when `v` does not describe a `Self`.
     fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Rebuilds `Self` directly from the JSON text behind `cur` without
+    /// materializing an intermediate [`Value`] tree.
+    ///
+    /// The provided default parses one complete value tree and delegates
+    /// to [`Deserialize::from_value`], so hand-written impls stay correct
+    /// without opting in; every impl in this crate and everything the
+    /// derive macro emits overrides it with true streaming. Overrides must
+    /// consume exactly one JSON value and preserve the tree path's
+    /// conversion semantics (the `serde_json` equivalence tests pin this).
+    ///
+    /// # Errors
+    /// Returns [`DeError`] on malformed JSON or shape mismatch.
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        let v = cur.parse_value()?;
+        Self::from_value(&v)
+    }
+}
+
+// ---- streaming cursor -------------------------------------------------------
+
+/// A parsed JSON number token, classified exactly as the tree parser does:
+/// tokens without `.`/`e`/`E` prefer `u64`, then `i64`; everything else
+/// parses as `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Integer token representable as `u64`.
+    U64(u64),
+    /// Negative integer token.
+    I64(i64),
+    /// Float token (or an integer too large for the integer types).
+    F64(f64),
+}
+
+impl Number {
+    /// The token as a `u64`, with the same acceptance rules as
+    /// deserializing an unsigned integer from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns [`DeError`] for negative or non-integral tokens.
+    pub fn as_unsigned(self) -> Result<u64, DeError> {
+        match self {
+            Number::U64(u) => Ok(u),
+            Number::I64(i) if i >= 0 => Ok(i as u64),
+            Number::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Ok(f as u64)
+            }
+            _ => Err(DeError::new("expected unsigned integer")),
+        }
+    }
+
+    /// The token as an `i64`, with the same acceptance rules as
+    /// deserializing a signed integer from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns [`DeError`] for out-of-range or non-integral tokens.
+    pub fn as_signed(self) -> Result<i64, DeError> {
+        match self {
+            Number::I64(i) => Ok(i),
+            Number::U64(u) if u <= i64::MAX as u64 => Ok(u as i64),
+            Number::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Ok(f as i64),
+            _ => Err(DeError::new("expected integer")),
+        }
+    }
+
+    /// The token as an `f64` (integers widen losslessly up to 2⁵³, matching
+    /// the tree path's conversion).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(u) => u as f64,
+            Number::I64(i) => i as f64,
+            Number::F64(f) => f,
+        }
+    }
+}
+
+/// Streaming JSON reader: a byte cursor over JSON text with the exact
+/// token-level grammar of the vendored `serde_json` parser (whitespace,
+/// escapes, number classification). [`Deserialize::from_json`] impls pull
+/// typed data straight off the cursor, so no [`Value`] nodes are ever
+/// allocated on the streaming path.
+#[derive(Debug)]
+pub struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    /// A cursor at the start of `text`.
+    pub fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    /// Current byte offset (for error reporting).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next non-whitespace byte, without consuming it.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] at end of input.
+    pub fn peek(&mut self) -> Result<u8, DeError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| DeError::new("unexpected end of input"))
+    }
+
+    /// Consumes the next non-whitespace byte, which must be `b`.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] if the next byte differs.
+    pub fn expect(&mut self, b: u8) -> Result<(), DeError> {
+        let got = self.peek()?;
+        if got == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::new(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, got as char
+            )))
+        }
+    }
+
+    /// Consumes `close` if it is the next byte (an empty container),
+    /// returning whether it did.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] at end of input.
+    pub fn consume_end(&mut self, close: u8) -> Result<bool, DeError> {
+        if self.peek()? == close {
+            self.pos += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// After a container element: consumes `,` (more elements, `true`) or
+    /// `close` (container done, `false`).
+    ///
+    /// # Errors
+    /// Returns [`DeError`] on any other byte.
+    pub fn seq_next(&mut self, close: u8) -> Result<bool, DeError> {
+        match self.peek()? {
+            b',' => {
+                self.pos += 1;
+                Ok(true)
+            }
+            b if b == close => {
+                self.pos += 1;
+                Ok(false)
+            }
+            other => Err(DeError::new(format!(
+                "expected `,` or `{}`, found `{}`",
+                close as char, other as char
+            ))),
+        }
+    }
+
+    /// Consumes the keyword `word` (`null`, `true`, `false`).
+    ///
+    /// # Errors
+    /// Returns [`DeError`] if the input does not continue with `word`.
+    pub fn parse_keyword(&mut self, word: &str) -> Result<(), DeError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(DeError::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    /// Consumes a `null`.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] if the next value is not `null`.
+    pub fn parse_null(&mut self) -> Result<(), DeError> {
+        self.parse_keyword("null")
+    }
+
+    /// Consumes a JSON string and returns its unescaped contents.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] on unterminated strings or bad escapes.
+    pub fn parse_string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| DeError::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| DeError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| DeError::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| DeError::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| DeError::new("bad \\u escape"))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(DeError::new(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the longest run of plain bytes (UTF-8 safe:
+                    // multi-byte sequences contain no ASCII specials).
+                    let start = self.pos - 1;
+                    while let Some(&nb) = self.bytes.get(self.pos) {
+                        if nb == b'"' || nb == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| DeError::new("invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Consumes a JSON number token and classifies it (see [`Number`]).
+    ///
+    /// # Errors
+    /// Returns [`DeError`] on malformed numbers.
+    pub fn parse_number(&mut self) -> Result<Number, DeError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::new("invalid number"))?;
+        if text.is_empty() {
+            return Err(DeError::new(format!("expected value at byte {start}")));
+        }
+        let is_float = text.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Number::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Number::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Number::F64)
+            .map_err(|_| DeError::new(format!("invalid number `{text}`")))
+    }
+
+    /// Skips one complete JSON value of any shape (used for unknown object
+    /// keys) without allocating.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] on malformed input.
+    pub fn skip_value(&mut self) -> Result<(), DeError> {
+        match self.peek()? {
+            b'n' => self.parse_keyword("null"),
+            b't' => self.parse_keyword("true"),
+            b'f' => self.parse_keyword("false"),
+            b'"' => self.skip_string(),
+            b'[' => {
+                self.pos += 1;
+                if self.consume_end(b']')? {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    if !self.seq_next(b']')? {
+                        return Ok(());
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                if self.consume_end(b'}')? {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_string()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    if !self.seq_next(b'}')? {
+                        return Ok(());
+                    }
+                }
+            }
+            _ => self.parse_number().map(|_| ()),
+        }
+    }
+
+    fn skip_string(&mut self) -> Result<(), DeError> {
+        self.expect(b'"')?;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    // Skip the escape introducer and its payload byte; \u
+                    // payloads are hex digits, which contain no `"` or `\`,
+                    // so the plain loop consumes them safely.
+                    self.pos += 2;
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(DeError::new("unterminated string")),
+            }
+        }
+    }
+
+    /// Parses one complete value into a [`Value`] tree — the fallback for
+    /// [`Deserialize::from_json`]'s provided default and for consumers that
+    /// genuinely need the dynamic form.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] on malformed input.
+    pub fn parse_value(&mut self) -> Result<Value, DeError> {
+        match self.peek()? {
+            b'n' => self.parse_keyword("null").map(|()| Value::Null),
+            b't' => self.parse_keyword("true").map(|()| Value::Bool(true)),
+            b'f' => self.parse_keyword("false").map(|()| Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.consume_end(b']')? {
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    if !self.seq_next(b']')? {
+                        return Ok(Value::Seq(items));
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.consume_end(b'}')? {
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    entries.push((key, self.parse_value()?));
+                    if !self.seq_next(b'}')? {
+                        return Ok(Value::Map(entries));
+                    }
+                }
+            }
+            _ => Ok(match self.parse_number()? {
+                Number::U64(u) => Value::U64(u),
+                Number::I64(i) => Value::I64(i),
+                Number::F64(f) => Value::F64(f),
+            }),
+        }
+    }
+
+    /// Asserts the input is exhausted (only trailing whitespace remains).
+    ///
+    /// # Errors
+    /// Returns [`DeError`] if unparsed input remains.
+    pub fn finish(&mut self) -> Result<(), DeError> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(DeError::new(format!("trailing input at byte {}", self.pos)));
+        }
+        Ok(())
+    }
 }
 
 // ---- derive-support helpers -------------------------------------------------
@@ -94,6 +527,15 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
             .map_err(|e| DeError::new(format!("field `{name}`: {}", e.msg))),
         None => Err(DeError::new(format!("missing field `{name}`"))),
     }
+}
+
+/// Unwraps a streaming field slot, reporting a missing field by name (the
+/// streaming counterpart of [`field`], used by derived `from_json`).
+///
+/// # Errors
+/// Returns [`DeError`] if the slot was never filled.
+pub fn req<T>(slot: Option<T>, name: &str) -> Result<T, DeError> {
+    slot.ok_or_else(|| DeError::new(format!("missing field `{name}`")))
 }
 
 /// Interprets `v` as a sequence of exactly `n` elements.
@@ -134,6 +576,14 @@ impl Deserialize for bool {
             _ => Err(DeError::new("expected bool")),
         }
     }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        match cur.peek()? {
+            b't' => cur.parse_keyword("true").map(|()| true),
+            b'f' => cur.parse_keyword("false").map(|()| false),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
 }
 
 macro_rules! impl_unsigned {
@@ -153,6 +603,11 @@ macro_rules! impl_unsigned {
                     }
                     _ => return Err(DeError::new("expected unsigned integer")),
                 };
+                <$t>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
+            }
+
+            fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+                let raw = cur.parse_number()?.as_unsigned()?;
                 <$t>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
             }
         }
@@ -179,6 +634,11 @@ macro_rules! impl_signed {
                 };
                 <$t>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
             }
+
+            fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+                let raw = cur.parse_number()?.as_signed()?;
+                <$t>::try_from(raw).map_err(|_| DeError::new("integer out of range"))
+            }
         }
     )*};
 }
@@ -202,6 +662,14 @@ impl Deserialize for f64 {
             _ => Err(DeError::new("expected number")),
         }
     }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        if cur.peek()? == b'n' {
+            cur.parse_null()?;
+            return Ok(f64::NAN);
+        }
+        Ok(cur.parse_number()?.as_f64())
+    }
 }
 
 impl Serialize for f32 {
@@ -213,6 +681,10 @@ impl Serialize for f32 {
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         f64::from_value(v).map(|f| f as f32)
+    }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        f64::from_json(cur).map(|f| f as f32)
     }
 }
 
@@ -228,6 +700,10 @@ impl Deserialize for String {
             Value::Str(s) => Ok(s.clone()),
             _ => Err(DeError::new("expected string")),
         }
+    }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        cur.parse_string()
     }
 }
 
@@ -256,6 +732,20 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             _ => Err(DeError::new("expected sequence")),
         }
     }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        cur.expect(b'[')?;
+        let mut out = Vec::new();
+        if cur.consume_end(b']')? {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::from_json(cur)?);
+            if !cur.seq_next(b']')? {
+                return Ok(out);
+            }
+        }
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -274,6 +764,14 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => T::from_value(other).map(Some),
         }
     }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        if cur.peek()? == b'n' {
+            cur.parse_null()?;
+            return Ok(None);
+        }
+        T::from_json(cur).map(Some)
+    }
 }
 
 impl<T: Serialize> Serialize for Box<T> {
@@ -285,6 +783,10 @@ impl<T: Serialize> Serialize for Box<T> {
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         T::from_value(v).map(Box::new)
+    }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        T::from_json(cur).map(Box::new)
     }
 }
 
@@ -300,6 +802,30 @@ impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
         let mut out = [T::default(); N];
         for (slot, item) in out.iter_mut().zip(items) {
             *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        cur.expect(b'[')?;
+        let mut out = [T::default(); N];
+        let mut filled = 0usize;
+        if !cur.consume_end(b']')? {
+            loop {
+                if filled >= N {
+                    return Err(DeError::new(format!("expected sequence of {N}")));
+                }
+                out[filled] = T::from_json(cur)?;
+                filled += 1;
+                if !cur.seq_next(b']')? {
+                    break;
+                }
+            }
+        }
+        if filled != N {
+            return Err(DeError::new(format!(
+                "expected sequence of {N}, found {filled}"
+            )));
         }
         Ok(out)
     }
@@ -369,6 +895,22 @@ where
             _ => Err(DeError::new("expected map")),
         }
     }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        cur.expect(b'{')?;
+        let mut out = Self::default();
+        if cur.consume_end(b'}')? {
+            return Ok(out);
+        }
+        loop {
+            let key = cur.parse_string()?;
+            cur.expect(b':')?;
+            out.insert(K::from_key(&key)?, V::from_json(cur)?);
+            if !cur.seq_next(b'}')? {
+                return Ok(out);
+            }
+        }
+    }
 }
 
 impl<K, V> Serialize for std::collections::BTreeMap<K, V>
@@ -395,6 +937,22 @@ where
             _ => Err(DeError::new("expected map")),
         }
     }
+
+    fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+        cur.expect(b'{')?;
+        let mut out = Self::new();
+        if cur.consume_end(b'}')? {
+            return Ok(out);
+        }
+        loop {
+            let key = cur.parse_string()?;
+            cur.expect(b':')?;
+            out.insert(K::from_key(&key)?, V::from_json(cur)?);
+            if !cur.seq_next(b'}')? {
+                return Ok(out);
+            }
+        }
+    }
 }
 
 macro_rules! impl_tuple {
@@ -409,6 +967,22 @@ macro_rules! impl_tuple {
                 const LEN: usize = 0 $(+ { let _ = $index; 1 })+;
                 let items = as_seq(v, LEN)?;
                 Ok(($(idx::<$name>(items, $index)?,)+))
+            }
+
+            fn from_json(cur: &mut JsonCursor<'_>) -> Result<Self, DeError> {
+                cur.expect(b'[')?;
+                let mut first = true;
+                let out = ($(
+                    {
+                        let _ = $index;
+                        if !std::mem::take(&mut first) {
+                            cur.expect(b',')?;
+                        }
+                        <$name>::from_json(cur)?
+                    },
+                )+);
+                cur.expect(b']')?;
+                Ok(out)
             }
         }
     )*};

@@ -285,6 +285,66 @@ fn gen_serialize(shape: &Shape) -> String {
     }
 }
 
+/// Emits the streaming body that parses an object's named fields into
+/// `Option` slots and builds `ctor { … }` — shared by named structs and
+/// struct enum variants. Assumes a `cur: &mut JsonCursor` is in scope and
+/// positioned at the object's `{`.
+fn gen_named_from_json(fields: &[String], ctor: &str) -> String {
+    if fields.is_empty() {
+        // No fields to extract: accept any value, mirroring from_value.
+        return format!("cur.skip_value()?;\n::std::result::Result::Ok({ctor} {{ }})");
+    }
+    let slots: Vec<String> = fields
+        .iter()
+        .map(|f| format!("let mut f_{f} = ::std::option::Option::None;"))
+        .collect();
+    let arms: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f:?} => {{ f_{f} = ::std::option::Option::Some(::serde::Deserialize::from_json(cur)?); }}"
+            )
+        })
+        .collect();
+    let inits: Vec<String> =
+        fields.iter().map(|f| format!("{f}: ::serde::req(f_{f}, {f:?})?")).collect();
+    format!(
+        "cur.expect(b'{{')?;\n\
+         {}\n\
+         if !cur.consume_end(b'}}')? {{\n\
+         loop {{\n\
+         let key = cur.parse_string()?;\n\
+         cur.expect(b':')?;\n\
+         match key.as_str() {{\n\
+         {}\n\
+         _ => {{ cur.skip_value()?; }}\n\
+         }}\n\
+         if !cur.seq_next(b'}}')? {{ break; }}\n\
+         }}\n\
+         }}\n\
+         ::std::result::Result::Ok({ctor} {{ {} }})",
+        slots.join("\n"),
+        arms.join("\n"),
+        inits.join(", ")
+    )
+}
+
+/// Emits the streaming body that parses an exact-arity JSON array into
+/// `ctor(e0, …, eN)` — shared by tuple structs and tuple enum variants.
+fn gen_tuple_from_json(arity: usize, ctor: &str) -> String {
+    let mut steps = String::from("cur.expect(b'[')?;\n");
+    let mut binds: Vec<String> = Vec::new();
+    for i in 0..arity {
+        if i > 0 {
+            steps.push_str("cur.expect(b',')?;\n");
+        }
+        steps.push_str(&format!("let e{i} = ::serde::Deserialize::from_json(cur)?;\n"));
+        binds.push(format!("e{i}"));
+    }
+    steps.push_str("cur.expect(b']')?;\n");
+    format!("{steps}::std::result::Result::Ok({ctor}({}))", binds.join(", "))
+}
+
 fn gen_deserialize(shape: &Shape) -> String {
     match shape {
         Shape::NamedStruct { name, fields } => {
@@ -295,8 +355,11 @@ fn gen_deserialize(shape: &Shape) -> String {
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                  fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
-                 ::std::result::Result::Ok({name} {{ {} }})\n}}\n}}",
-                inits.join(", ")
+                 ::std::result::Result::Ok({name} {{ {} }})\n}}\n\
+                 fn from_json(cur: &mut ::serde::JsonCursor<'_>) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {}\n}}\n}}",
+                inits.join(", "),
+                gen_named_from_json(fields, name)
             )
         }
         Shape::TupleStruct { name, arity } => {
@@ -311,15 +374,27 @@ fn gen_deserialize(shape: &Shape) -> String {
                     items.join(", ")
                 )
             };
+            let json_body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_json(cur)?))"
+                )
+            } else {
+                gen_tuple_from_json(*arity, name)
+            };
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                  fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
-                 {body}\n}}\n}}"
+                 {body}\n}}\n\
+                 fn from_json(cur: &mut ::serde::JsonCursor<'_>) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {json_body}\n}}\n}}"
             )
         }
         Shape::UnitStruct { name } => format!(
             "impl ::serde::Deserialize for {name} {{\n\
              fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n\
+             fn from_json(cur: &mut ::serde::JsonCursor<'_>) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             cur.skip_value()?;\n\
              ::std::result::Result::Ok({name})\n}}\n}}"
         ),
         Shape::Enum { name, variants } => {
@@ -363,6 +438,27 @@ fn gen_deserialize(shape: &Shape) -> String {
                     }
                 })
                 .collect();
+            let json_tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => unreachable!("filtered above"),
+                        VariantKind::Tuple(1) => format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_json(cur)?)),"
+                        ),
+                        VariantKind::Tuple(arity) => format!(
+                            "{v:?} => {{ {} }},",
+                            gen_tuple_from_json(*arity, &format!("{name}::{v}"))
+                        ),
+                        VariantKind::Struct(fields) => format!(
+                            "{v:?} => {{ {} }},",
+                            gen_named_from_json(fields, &format!("{name}::{v}"))
+                        ),
+                    }
+                })
+                .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                  fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
@@ -379,9 +475,33 @@ fn gen_deserialize(shape: &Shape) -> String {
                  }}\n\
                  }},\n\
                  _ => ::std::result::Result::Err(::serde::DeError::new(\"expected {name} variant\")),\n\
+                 }}\n}}\n\
+                 fn from_json(cur: &mut ::serde::JsonCursor<'_>) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match cur.peek()? {{\n\
+                 b'\"' => {{\n\
+                 let tag = cur.parse_string()?;\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 b'{{' => {{\n\
+                 cur.expect(b'{{')?;\n\
+                 let tag = cur.parse_string()?;\n\
+                 cur.expect(b':')?;\n\
+                 let value = match tag.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}?;\n\
+                 cur.expect(b'}}')?;\n\
+                 ::std::result::Result::Ok(value)\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"expected {name} variant\")),\n\
                  }}\n}}\n}}",
                 unit_arms.join("\n"),
-                tagged_arms.join("\n")
+                tagged_arms.join("\n"),
+                unit_arms.join("\n"),
+                json_tagged_arms.join("\n")
             )
         }
     }

@@ -57,11 +57,27 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
-/// Parses JSON text into a `T`.
+/// Parses JSON text into a `T` via the streaming cursor: typed data is
+/// pulled straight off the text with no intermediate [`Value`] tree, which
+/// is what makes warm `ArtifactStore` reads cheap for multi-MB payloads.
 ///
 /// # Errors
-/// Returns [`Error`] on malformed JSON or shape mismatch.
+/// Returns [`Error`] on malformed JSON, shape mismatch, or trailing input.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut cur = serde::JsonCursor::new(text);
+    let value = T::from_json(&mut cur)?;
+    cur.finish()?;
+    Ok(value)
+}
+
+/// Parses JSON text into a `T` the pre-streaming way: build the full
+/// [`Value`] tree, then convert with [`Deserialize::from_value`]. Kept as
+/// the reference path that equivalence tests and `benches/store.rs` compare
+/// the streaming [`from_str`] against.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON, shape mismatch, or trailing input.
+pub fn from_str_value<T: Deserialize>(text: &str) -> Result<T, Error> {
     let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -427,5 +443,46 @@ mod tests {
         assert!(from_str::<u64>("12 34").is_err());
         assert!(from_str::<Vec<u64>>("[1,").is_err());
         assert!(from_str::<bool>("truth").is_err());
+        // The tree-building reference path enforces the same contract.
+        assert!(from_str_value::<u64>("12 34").is_err());
+        assert!(from_str_value::<Vec<u64>>("[1,").is_err());
+    }
+
+    #[test]
+    fn streaming_matches_tree_reference() {
+        // Same text through both deserialization paths must yield the same
+        // typed data — including float bit patterns, escapes and nulls.
+        let json = r#"[[0.1,-7.25,1e300,null],[18446744073709551615.0],[]]"#;
+        let streamed: Vec<Vec<f64>> = from_str(json).unwrap();
+        let tree: Vec<Vec<f64>> = from_str_value(json).unwrap();
+        assert_eq!(streamed.len(), tree.len());
+        for (a, b) in streamed.iter().flatten().zip(tree.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let json = r#"{"a b":"x\n\"y\"","z":"Aç"}"#;
+        let streamed: std::collections::BTreeMap<String, String> = from_str(json).unwrap();
+        let tree: std::collections::BTreeMap<String, String> = from_str_value(json).unwrap();
+        assert_eq!(streamed, tree);
+
+        let json = "[1,null,18446744073709551615,[2,3]]";
+        let streamed: (u64, Option<i32>, u64, Vec<u8>) = from_str(json).unwrap();
+        let tree: (u64, Option<i32>, u64, Vec<u8>) = from_str_value(json).unwrap();
+        assert_eq!(streamed, tree);
+    }
+
+    #[test]
+    fn streaming_skips_unknown_fields() {
+        // Unknown keys of arbitrary nested shape must be skipped without
+        // derailing the cursor (the derive emits `skip_value` for them).
+        #[derive(serde::Serialize, serde::Deserialize)]
+        struct Slim {
+            b: u64,
+        }
+        let json = r#"{"a":[true,{"k":[1,"s",null]}],"b":7,"c":"x\"y"}"#;
+        let slim: Slim = from_str(json).unwrap();
+        assert_eq!(slim.b, 7);
+        let slim: Slim = from_str_value(json).unwrap();
+        assert_eq!(slim.b, 7);
     }
 }
