@@ -44,6 +44,15 @@
 //!   the seeded load generator against a live in-process wade-serve
 //!   instance and verify every response byte-for-byte against direct
 //!   `predict_rows` (exit 1 on any error or mismatch)
+//!
+//! Fleet subcommands (`--store-dir` selects the shard store):
+//!
+//! * `bench fleet sweep [--devices N] [--shards S] [--epochs E]
+//!   [--seed K]` — sweep a heterogeneous device fleet through the store
+//!   (warm shards are pure reads) and report failures and store traffic
+//! * `bench fleet eval [same flags]` — sweep, then run the field-style
+//!   evaluation: lead-time precision/recall, the mitigation-cost curve
+//!   and the cross-vintage transfer matrix
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -66,8 +75,18 @@ use wade_workloads::{full_suite, paper_suite, Scale};
 /// values never masquerade as subcommands, and collected for the store
 /// subcommands. `--store-dir`'s validity stays enforced by
 /// `wade_bench::store_dir()`.
-const VALUE_FLAGS: [&str; 7] =
-    ["--store-dir", "--seed", "--ops", "--threads", "--fault-rate", "--max-bytes", "--requests"];
+const VALUE_FLAGS: [&str; 10] = [
+    "--store-dir",
+    "--seed",
+    "--ops",
+    "--threads",
+    "--fault-rate",
+    "--max-bytes",
+    "--requests",
+    "--devices",
+    "--shards",
+    "--epochs",
+];
 
 fn main() {
     // Positional args, skipping flags and their values — so
@@ -103,6 +122,10 @@ fn main() {
     }
     if positional.first() == Some(&"serve") {
         serve_command(positional.get(1).copied(), &flags);
+        return;
+    }
+    if positional.first() == Some(&"fleet") {
+        fleet_command(positional.get(1).copied(), &flags);
         return;
     }
     let out_path = positional.first().unwrap_or(&"BENCH_sim.json").to_string();
@@ -558,6 +581,55 @@ fn main() {
         warm_tree_ms / warm_streaming_ms.max(1e-9),
         serve_report.p50_ms,
         serve_report.p99_ms,
+    ));
+
+    // The fleet sweep (ARCHITECTURE.md §15): a heterogeneous device
+    // population swept cold (simulate + persist per-shard artifacts into a
+    // scratch store) versus warm (pure store reads). The warm engine's
+    // simulation counter must stay at zero, and the merged fleet must be
+    // byte-identical cold-vs-warm and 1-thread-vs-parallel.
+    eprintln!("[bench] fleet sweep: cold simulate-and-persist vs warm store reads …");
+    let mut fleet_spec = wade_fleet::FleetSpec::test_default();
+    if smoke {
+        fleet_spec.devices = 32;
+        fleet_spec.shards = 4;
+        fleet_spec.epochs = 3;
+        fleet_spec.max_workloads = 3;
+    } else {
+        fleet_spec.devices = 64;
+        fleet_spec.shards = 8;
+        fleet_spec.epochs = 4;
+        fleet_spec.max_workloads = 4;
+    }
+    let fleet_seed = 7u64;
+    let fleet_root = std::env::temp_dir().join(format!("wade-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fleet_root);
+    let fleet_store = wade_store::ArtifactStore::open(&fleet_root);
+    let cold_engine = wade_fleet::FleetSweep::new(fleet_spec, fleet_seed);
+    let fleet_start = Instant::now();
+    let fleet_cold = cold_engine.sweep_stored(&fleet_store);
+    let fleet_cold_ms = fleet_start.elapsed().as_secs_f64() * 1e3;
+    let warm_engine = wade_fleet::FleetSweep::new(fleet_spec, fleet_seed);
+    let fleet_warm = warm_engine.sweep_stored(&fleet_store);
+    let fleet_warm_sims = warm_engine.simulations();
+    let fleet_warm_ms = median_ms(cur_samples, || {
+        wade_fleet::FleetSweep::new(fleet_spec, fleet_seed).sweep_stored(&fleet_store);
+    });
+    let fleet_serial_json = {
+        let one = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        one.install(|| wade_fleet::FleetSweep::new(fleet_spec, fleet_seed).sweep().devices_json())
+    };
+    let fleet_identical = fleet_cold.devices_json() == fleet_warm.devices_json()
+        && fleet_cold.devices_json() == fleet_serial_json;
+    let _ = std::fs::remove_dir_all(&fleet_root);
+    sections.push(format!(
+        "    \"fleet\": {{\n      \"devices\": {},\n      \"shards\": {},\n      \"epochs\": {},\n      \"failures\": {},\n      \"cold_simulations\": {},\n      \"cold_ms\": {fleet_cold_ms:.3},\n      \"warm_ms\": {fleet_warm_ms:.3},\n      \"speedup_warm_vs_cold\": {:.2},\n      \"warm_simulations\": {fleet_warm_sims},\n      \"byte_identical\": {fleet_identical}\n    }}",
+        fleet_spec.devices,
+        fleet_spec.shards,
+        fleet_spec.epochs,
+        fleet_cold.failures().len(),
+        cold_engine.simulations(),
+        fleet_cold_ms / fleet_warm_ms.max(1e-9),
     ));
 
     let json = format!(
@@ -1082,6 +1154,112 @@ fn report_eq(a: &AccuracyReport, b: &AccuracyReport) -> bool {
             .iter()
             .zip(b.per_workload.iter())
             .all(|((wa, ea), (wb, eb))| wa == wb && ea.to_bits() == eb.to_bits())
+}
+
+/// `bench fleet <sweep|eval>`: sweep a heterogeneous device fleet through
+/// the shared store (per-shard artifacts; warm shards are pure reads) and,
+/// for `eval`, run the field-style failure-prediction evaluation on the
+/// swept histories.
+fn fleet_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
+    let mut spec = wade_fleet::FleetSpec::test_default();
+    spec.devices = flag_num(flags, "--devices", spec.devices);
+    spec.shards = flag_num(flags, "--shards", spec.shards);
+    spec.epochs = flag_num(flags, "--epochs", spec.epochs);
+    if let Err(err) = spec.validate() {
+        eprintln!("error: invalid fleet spec: {err}");
+        std::process::exit(2);
+    }
+    let seed = flag_num(flags, "--seed", 7u64);
+    let run_sweep = || {
+        let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
+        let engine = wade_fleet::FleetSweep::new(spec, seed);
+        let start = Instant::now();
+        let outcome = engine.sweep_stored(&store);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "fleet: {} devices / {} shards / {} epochs (seed {seed}) in {ms:.1} ms — \
+             {} failed, {} survived, {} simulations ({})",
+            spec.devices,
+            spec.shards,
+            spec.epochs,
+            outcome.failures().len(),
+            outcome.survivors(),
+            engine.simulations(),
+            if engine.simulations() == 0 { "fully warm" } else { "cold shards simulated" },
+        );
+        println!(
+            "store: {} — {} hits, {} misses, {} writes, {} B live",
+            store.root().display(),
+            store.hits(),
+            store.misses(),
+            store.writes(),
+            store.live_bytes(),
+        );
+        (engine, outcome)
+    };
+    match action {
+        Some("sweep") => {
+            run_sweep();
+        }
+        Some("eval") => {
+            let (engine, outcome) = run_sweep();
+            let eval = wade_fleet::FleetEval::evaluate(
+                &outcome,
+                wade_fleet::FleetEvalConfig::for_spec(&spec),
+            );
+            for report in eval.lead_time_reports() {
+                println!(
+                    "lead {:>6.0} s: precision {:.3} ({}/{} alerts justified), \
+                     recall {:.3} ({}/{} failures caught)",
+                    report.lead_s,
+                    report.precision,
+                    report.justified_alerts,
+                    report.alerts,
+                    report.recall,
+                    report.caught_failures,
+                    report.caught_failures + report.missed_failures,
+                );
+            }
+            let curve = eval.cost_curve(1.0, 25.0);
+            let best = curve
+                .iter()
+                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
+                .expect("curve is never empty");
+            let never = curve.last().expect("curve is never empty");
+            println!(
+                "cost (migrate 1, crash 25): best θ={:.3e} → {} migrations + {} crashes \
+                 = {:.0}; never-migrate = {:.0}",
+                best.threshold, best.migrations, best.crashes, best.cost, never.cost,
+            );
+            let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
+            let matrix = wade_fleet::transfer_matrix(
+                &engine,
+                &outcome,
+                MlKind::Rdf,
+                FeatureSet::Set1,
+                Some(&store),
+            );
+            println!("transfer (Rdf/Set1, WER MPE %): train vintage ↓ / test vintage →");
+            for a in 0..matrix.vintages {
+                let row: Vec<String> = (0..matrix.vintages)
+                    .map(|b| format!("{:>8.1}", matrix.cell(a, b).mpe))
+                    .collect();
+                println!("  v{a}: {}", row.join(" "));
+            }
+            println!(
+                "transfer: in-vintage mean {:.1} %, cross-vintage mean {:.1} %",
+                matrix.mean_diagonal(),
+                matrix.mean_off_diagonal(),
+            );
+        }
+        other => {
+            eprintln!(
+                "usage: bench fleet <sweep|eval> [--devices N] [--shards S] [--epochs E] \
+                 [--seed K] [--store-dir DIR]   (got {other:?})"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {

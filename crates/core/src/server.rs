@@ -44,9 +44,21 @@ pub struct SimulatedServer {
 impl SimulatedServer {
     /// Manufactures a server whose DRAM reliability is fixed by `seed`.
     pub fn with_seed(seed: u64) -> Self {
+        Self::with_device(DramDevice::with_seed(seed))
+    }
+
+    /// A server built around an externally manufactured device — the
+    /// drill-down entry point for heterogeneous populations: a fleet layer
+    /// that manufactures devices with variant geometry or vintage-skewed
+    /// physics (`DramDevice::with_parts`) can put any one of them under the
+    /// standard SoC/thermal testbed and run a full characterization
+    /// campaign on it. The device fingerprint flows into campaign store
+    /// keys exactly as for seed-manufactured servers, so drill-down
+    /// campaigns on distinct fleet devices can never alias in the store.
+    pub fn with_device(device: DramDevice) -> Self {
         let soc_config = Self::profiling_soc_config();
         Self {
-            device: DramDevice::with_seed(seed),
+            device,
             soc_fingerprint: fingerprint_soc_config(&soc_config),
             soc_config,
             thermal: ThermalTestbed::new(),

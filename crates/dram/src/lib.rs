@@ -65,5 +65,5 @@ pub use op::OperatingPoint;
 pub use profile::{DramUsageProfile, ReuseQuantiles};
 pub use prepared::{LiveCellIndex, PreparedRun};
 pub use retention::RetentionLaw;
-pub use sim::ErrorSim;
+pub use sim::{ErrorSim, DETERMINISM_VERSION};
 pub use variation::RankVariation;

@@ -115,11 +115,15 @@ const SEGMENTS: u64 = 32;
 /// Version tag of the simulator's determinism contract, folded into
 /// [`crate::DramDevice::fingerprint`] (and through it into every disk-store
 /// key derived from simulated data). Bump this on any **re-baselining
-/// event** — changing [`SEGMENTS`], the PRNG ([`SimRng`]), or any stream
+/// event** — changing `SEGMENTS`, the PRNG (`SimRng`), or any stream
 /// domain/salt below — so persisted artifacts manufactured under the old
 /// contract read as misses instead of stale hits. The constant exists
 /// purely for keying; it never enters the simulation itself.
-pub(crate) const DETERMINISM_VERSION: u64 = 1;
+///
+/// Public because multi-device consumers (the fleet sharding layer) embed
+/// it verbatim in their own store keys: a shard of simulated device
+/// histories is only replayable under the contract it was produced with.
+pub const DETERMINISM_VERSION: u64 = 1;
 
 /// Segments bundled into one parallel work unit.
 const SEGMENTS_PER_CHUNK: u64 = 4;

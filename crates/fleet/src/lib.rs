@@ -1,0 +1,40 @@
+//! # wade-fleet — the fleet-scale scenario engine
+//!
+//! Everything below WADE simulates **one** server very well. This crate
+//! turns that into a *population*: a [`FleetSpec`] manufactures hundreds
+//! to thousands of heterogeneous devices from a single fleet seed —
+//! per-device derived seeds, vintage-dependent geometry variants,
+//! vintage-skewed and device-jittered error physics, and per-device
+//! thermal/utilization field schedules built from the profiled workload
+//! suite — then [`FleetSweep`] simulates every device's field life in
+//! order-stable shards over the worker pool and persists each shard as a
+//! `wade-store` artifact, so a warm sweep is pure store reads (zero
+//! simulation, zero profiling — counter-asserted by the fleet tests).
+//!
+//! On top of the swept histories, [`FleetEval`] replays the fleet the way
+//! an operator would see it: sliding observation windows score each device
+//! at every epoch boundary, alerts are graded into precision/recall at
+//! configurable lead times, and a threshold sweep yields the
+//! mitigation-cost curve (migration cost vs unmitigated-crash cost).
+//! [`transfer_matrix`] trains one WER model per vintage on the existing
+//! store-backed trainers and scores every train-on-A/test-on-B pair, and
+//! [`fleet_campaign_data`] repackages a swept fleet as ordinary
+//! `CampaignData` so the serving registry loads fleet-trained models with
+//! no fleet-specific code.
+//!
+//! The sharding/keying/merge contract lives in [`sweep`]'s module docs and
+//! is normative; `ARCHITECTURE.md` §15 mirrors it.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod eval;
+pub mod spec;
+pub mod sweep;
+
+pub use eval::{
+    fleet_campaign_data, transfer_matrix, CostPoint, DecisionPoint, FleetEval, FleetEvalConfig,
+    LeadTimeReport, TransferCell, TransferMatrix, FLEET_MODEL_KIND,
+};
+pub use spec::{EpochPlan, FleetSpec, FLEET_SHARD_KIND};
+pub use sweep::{DeviceHistory, EpochOutcome, FleetOutcome, FleetShard, FleetSweep};

@@ -1,0 +1,361 @@
+//! The sharded fleet sweep: simulate every device's field schedule,
+//! fan shards over the pool, persist each shard as a store artifact.
+//!
+//! # Sharding / keying / merge contract (normative)
+//!
+//! - Devices are assigned to shards in **contiguous index blocks**
+//!   ([`FleetSpec::shard_range`]); the merged fleet is the concatenation of
+//!   shards in shard order, so the merge is order-stable by construction
+//!   and the swept fleet is byte-identical at any thread count.
+//! - A device's history is a pure function of `(spec, fleet_seed, index)`
+//!   — never of its shard or of neighbouring devices — so re-sharding the
+//!   same spec only re-groups bytes, and a single device can be replayed
+//!   in isolation ([`FleetSweep::device_history`]).
+//! - Each shard persists under kind [`FLEET_SHARD_KIND`] with a key that
+//!   embeds the fleet seed, the simulator's `DETERMINISM_VERSION`, the
+//!   profiling SoC fingerprint and the **verbatim** spec description plus
+//!   the shard index ([`FleetSweep::shard_key`]). Any re-baselining event
+//!   — simulator, profiler or spec — turns warm shards into misses, never
+//!   stale hits.
+//! - A warm [`FleetSweep::sweep_stored`] performs **zero** simulations and
+//!   zero workload profiling: the workload suite is profiled lazily, only
+//!   once some shard actually misses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::spec::{FleetSpec, FLEET_SHARD_KIND, PROFILE_SALT, RUN_SALT};
+use serde::{Deserialize, Serialize};
+use wade_core::{pool, ProfiledWorkload, SimulatedServer};
+use wade_dram::{DramUsageProfile, ErrorSim, OperatingPoint, RANK_COUNT};
+use wade_fault::mix64;
+use wade_store::ArtifactStore;
+use wade_workloads::full_suite;
+
+/// One simulated field epoch of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochOutcome {
+    /// Epoch index within the device's schedule.
+    pub epoch: u32,
+    /// Workload that ran during the epoch.
+    pub workload: String,
+    /// DIMM temperature during the epoch (°C).
+    pub temp_c: f64,
+    /// Utilization factor applied to the workload's DRAM rates.
+    pub utilization: f64,
+    /// Unique corrected-error words observed.
+    pub ce_count: u64,
+    /// Word error rate of the epoch run (eq. 2).
+    pub wer: f64,
+    /// Per-rank WER split.
+    pub wer_per_rank: [f64; RANK_COUNT],
+    /// Whether the epoch ended in an uncorrectable error (device failure).
+    pub crashed: bool,
+    /// Seconds into the epoch at which the UE fired, if it did.
+    pub ue_t_s: Option<f64>,
+    /// Rank blamed for the UE, if one fired.
+    pub ue_rank: Option<usize>,
+}
+
+/// The full simulated field history of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceHistory {
+    /// Fleet-wide device index.
+    pub index: u32,
+    /// Derived manufacturing seed.
+    pub seed: u64,
+    /// Generation the device belongs to.
+    pub vintage: u32,
+    /// The device's manufacturing fingerprint (seed + geometry + physics
+    /// + simulator determinism contract).
+    pub fingerprint: u64,
+    /// Epoch outcomes, ending early at the failing epoch.
+    pub epochs: Vec<EpochOutcome>,
+    /// Absolute failure time from field start (s), if the device failed.
+    pub failed_at_s: Option<f64>,
+}
+
+/// One persisted shard: a contiguous block of device histories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetShard {
+    /// Shard index.
+    pub shard: u32,
+    /// Histories of the shard's devices, in fleet index order.
+    pub devices: Vec<DeviceHistory>,
+}
+
+/// The merged result of a fleet sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// The spec the fleet was manufactured from.
+    pub spec: FleetSpec,
+    /// The fleet seed.
+    pub seed: u64,
+    /// Every device's history, in index order.
+    pub devices: Vec<DeviceHistory>,
+}
+
+impl FleetOutcome {
+    /// `(device index, absolute failure time)` of every failed device.
+    pub fn failures(&self) -> Vec<(u32, f64)> {
+        self.devices.iter().filter_map(|d| d.failed_at_s.map(|t| (d.index, t))).collect()
+    }
+
+    /// Devices that survived the whole observation span.
+    pub fn survivors(&self) -> usize {
+        self.devices.iter().filter(|d| d.failed_at_s.is_none()).count()
+    }
+
+    /// Canonical JSON of the device histories — the byte-identity currency
+    /// of the fleet test pyramid (the spec itself is keyed, not stored).
+    ///
+    /// # Panics
+    /// Panics if serialization fails (it cannot for these types).
+    pub fn devices_json(&self) -> String {
+        serde_json::to_string(&self.devices).expect("device histories serialize")
+    }
+}
+
+/// A reusable sweep engine: owns the profiling server, the lazily
+/// profiled workload suite and the simulation counter.
+///
+/// The counter is how tests *counter-assert* the warm path: a warm
+/// [`FleetSweep::sweep_stored`] must leave [`FleetSweep::simulations`]
+/// untouched.
+pub struct FleetSweep {
+    spec: FleetSpec,
+    seed: u64,
+    server: SimulatedServer,
+    profiles: OnceLock<Vec<ProfiledWorkload>>,
+    simulations: AtomicU64,
+}
+
+impl FleetSweep {
+    /// Builds a sweep engine for `spec` under `seed`.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`FleetSpec::validate`].
+    pub fn new(spec: FleetSpec, seed: u64) -> Self {
+        spec.validate().expect("invalid fleet spec");
+        Self {
+            spec,
+            seed,
+            server: SimulatedServer::with_seed(seed),
+            profiles: OnceLock::new(),
+            simulations: AtomicU64::new(0),
+        }
+    }
+
+    /// The spec in force.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// The fleet seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of `ErrorSim` runs performed so far by this engine. Zero
+    /// after a fully warm [`FleetSweep::sweep_stored`].
+    pub fn simulations(&self) -> u64 {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// The profiled workload suite the schedules draw from, profiling it
+    /// on first use. Profiling happens at most once per engine and not at
+    /// all on a fully warm stored sweep.
+    ///
+    /// Forced *before* any pool fan-out so the one-time initialisation
+    /// (itself parallel) never runs under a worker blocked by another
+    /// worker's `OnceLock` wait.
+    pub fn profiles(&self) -> &[ProfiledWorkload] {
+        self.profiles.get_or_init(|| {
+            let suite: Vec<_> = full_suite(self.spec.scale)
+                .into_iter()
+                .take(self.spec.max_workloads as usize)
+                .enumerate()
+                .collect();
+            let profile_seed = mix64(self.seed, PROFILE_SALT);
+            pool::fan_out(suite, |(i, w)| {
+                self.server.profile_workload(w.as_ref(), mix64(profile_seed, i as u64))
+            })
+        })
+    }
+
+    /// Simulates the full field history of device `index` — the isolation
+    /// drill-down: the result is byte-identical to the same device's slice
+    /// of a full sweep.
+    pub fn device_history(&self, index: u32) -> DeviceHistory {
+        let profiles = self.profiles();
+        let device = self.spec.manufacture(self.seed, index);
+        let device_seed = device.seed();
+        let sim = ErrorSim::new(&device);
+        let mut epochs = Vec::new();
+        let mut failed_at_s = None;
+        for epoch in 0..self.spec.epochs {
+            let plan = self.spec.epoch_plan(self.seed, index, epoch, profiles.len());
+            let profiled = &profiles[plan.workload];
+            let profile = scaled_profile(&profiled.profile, plan.utilization);
+            let op = OperatingPoint::relaxed(self.spec.trefp_s, plan.temp_c);
+            let run_seed = mix64(mix64(self.seed ^ RUN_SALT, device_seed), epoch as u64);
+            self.simulations.fetch_add(1, Ordering::Relaxed);
+            let run = sim.run(&profile, op, self.spec.epoch_s, run_seed);
+            let crashed = run.crashed();
+            if let Some(ue) = run.ue {
+                failed_at_s =
+                    Some(epoch as f64 * self.spec.epoch_s + ue.t_s.min(self.spec.epoch_s));
+            }
+            epochs.push(EpochOutcome {
+                epoch,
+                workload: profiled.name.clone(),
+                temp_c: plan.temp_c,
+                utilization: plan.utilization,
+                ce_count: run.ce_events.len() as u64,
+                wer: run.wer(),
+                wer_per_rank: run.wer_per_rank(),
+                crashed,
+                ue_t_s: run.ue.map(|ue| ue.t_s),
+                ue_rank: run.ue.map(|ue| ue.rank.index()),
+            });
+            if crashed {
+                break;
+            }
+        }
+        DeviceHistory {
+            index,
+            seed: device_seed,
+            vintage: self.spec.vintage_of(index),
+            fingerprint: device.fingerprint(),
+            epochs,
+            failed_at_s,
+        }
+    }
+
+    /// Simulates shard `shard` (its contiguous device block, in order).
+    pub fn shard(&self, shard: u32) -> FleetShard {
+        let devices = self.spec.shard_range(shard).map(|k| self.device_history(k)).collect();
+        FleetShard { shard, devices }
+    }
+
+    /// Store key of shard `shard` — seed, determinism version, profiling
+    /// SoC fingerprint, verbatim spec, shard index. See the module docs
+    /// for why each component is load-bearing.
+    pub fn shard_key(&self, shard: u32) -> String {
+        format!(
+            "fleet|seed={}|det={}|soc={:016x}|spec={}|shard={shard}",
+            self.seed,
+            wade_dram::DETERMINISM_VERSION,
+            self.server.soc_fingerprint(),
+            self.spec.describe(),
+        )
+    }
+
+    /// Sweeps the whole fleet in memory: shards fan out over the pool,
+    /// the merge concatenates them in shard order.
+    pub fn sweep(&self) -> FleetOutcome {
+        self.profiles();
+        let shards =
+            pool::fan_out((0..self.spec.shards).collect(), |s| self.shard(s));
+        self.merge(shards)
+    }
+
+    /// Sweeps through `store`: warm shards are read back (zero simulation,
+    /// zero profiling), cold shards are simulated and persisted. A store
+    /// running degraded (see `wade-fault`) simply yields more recomputes —
+    /// the merged outcome is byte-identical either way.
+    pub fn sweep_stored(&self, store: &ArtifactStore) -> FleetOutcome {
+        let keys: Vec<String> =
+            (0..self.spec.shards).map(|s| self.shard_key(s)).collect();
+        let cached: Vec<Option<FleetShard>> =
+            keys.iter().map(|k| store.get(FLEET_SHARD_KIND, k)).collect();
+        if cached.iter().any(Option::is_none) {
+            self.profiles();
+        }
+        let shards = pool::fan_out(
+            cached.into_iter().enumerate().collect::<Vec<_>>(),
+            |(s, hit)| {
+                hit.unwrap_or_else(|| {
+                    let shard = self.shard(s as u32);
+                    let _ = store.put(FLEET_SHARD_KIND, &keys[s], &shard);
+                    shard
+                })
+            },
+        );
+        self.merge(shards)
+    }
+
+    /// Order-stable merge: concatenation in shard order, with the device
+    /// index sequence asserted contiguous.
+    fn merge(&self, shards: Vec<FleetShard>) -> FleetOutcome {
+        let devices: Vec<DeviceHistory> =
+            shards.into_iter().flat_map(|s| s.devices).collect();
+        assert_eq!(devices.len() as u32, self.spec.devices, "merge lost devices");
+        for (i, d) in devices.iter().enumerate() {
+            assert_eq!(d.index, i as u32, "merge broke device order");
+        }
+        FleetOutcome { spec: self.spec, seed: self.seed, devices }
+    }
+}
+
+/// A profile at reduced utilization: the DRAM traffic rates scale with the
+/// utilization factor; footprint and content statistics stay those of the
+/// profiled workload.
+fn scaled_profile(profile: &DramUsageProfile, utilization: f64) -> DramUsageProfile {
+    let mut scaled = profile.clone();
+    scaled.dram_read_rate_hz *= utilization;
+    scaled.dram_write_rate_hz *= utilization;
+    scaled.row_activation_rate_hz *= utilization;
+    scaled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> FleetSpec {
+        let mut spec = FleetSpec::test_default();
+        spec.devices = 6;
+        spec.shards = 3;
+        spec.epochs = 2;
+        spec.max_workloads = 2;
+        spec
+    }
+
+    #[test]
+    fn sweep_is_reproducible_and_ordered() {
+        let a = FleetSweep::new(tiny_spec(), 42).sweep();
+        let b = FleetSweep::new(tiny_spec(), 42).sweep();
+        assert_eq!(a.devices_json(), b.devices_json());
+        assert_eq!(a.devices.len(), 6);
+        let other = FleetSweep::new(tiny_spec(), 43).sweep();
+        assert_ne!(a.devices_json(), other.devices_json(), "seed must matter");
+    }
+
+    #[test]
+    fn device_histories_are_shard_independent() {
+        let sweep = FleetSweep::new(tiny_spec(), 7);
+        let full = sweep.sweep();
+        let solo = sweep.device_history(4);
+        assert_eq!(solo, full.devices[4]);
+    }
+
+    #[test]
+    fn simulations_are_counted() {
+        let sweep = FleetSweep::new(tiny_spec(), 7);
+        assert_eq!(sweep.simulations(), 0);
+        let outcome = sweep.sweep();
+        let epochs: u64 = outcome.devices.iter().map(|d| d.epochs.len() as u64).sum();
+        assert_eq!(sweep.simulations(), epochs);
+    }
+
+    #[test]
+    fn shard_keys_separate_shards_seeds_and_specs() {
+        let sweep = FleetSweep::new(tiny_spec(), 7);
+        assert_ne!(sweep.shard_key(0), sweep.shard_key(1));
+        assert_ne!(sweep.shard_key(0), FleetSweep::new(tiny_spec(), 8).shard_key(0));
+        let mut grown = tiny_spec();
+        grown.epochs += 1;
+        assert_ne!(sweep.shard_key(0), FleetSweep::new(grown, 7).shard_key(0));
+    }
+}

@@ -45,6 +45,24 @@ pub fn mean_absolute_error_percent(pred: &[f64], actual: &[f64]) -> f64 {
     100.0 * sum / pred.len() as f64
 }
 
+/// Precision and recall from raw alert counts, with the conventions field
+/// evaluations use: an alerting system that never fires has precision 1
+/// (it made no false claims) and a failure population of zero has recall 1
+/// (nothing was missed). Keeps lead-time sweeps free of 0/0 special cases.
+pub fn precision_recall(true_pos: u64, false_pos: u64, false_neg: u64) -> (f64, f64) {
+    let precision = if true_pos + false_pos == 0 {
+        1.0
+    } else {
+        true_pos as f64 / (true_pos + false_pos) as f64
+    };
+    let recall = if true_pos + false_neg == 0 {
+        1.0
+    } else {
+        true_pos as f64 / (true_pos + false_neg) as f64
+    };
+    (precision, recall)
+}
+
 /// Root-mean-square error.
 ///
 /// # Panics
@@ -91,6 +109,16 @@ mod tests {
         let a = rmse(&[0.0, 0.0], &[1.0, 1.0]);
         let b = rmse(&[0.0, 0.0], &[0.0, 2.0]);
         assert!(b > a);
+    }
+
+    #[test]
+    fn precision_recall_counts_and_conventions() {
+        let (p, r) = precision_recall(8, 2, 8);
+        assert!((p - 0.8).abs() < 1e-12 && (r - 0.5).abs() < 1e-12);
+        // No alerts → perfect precision; no failures → perfect recall.
+        assert_eq!(precision_recall(0, 0, 5), (1.0, 0.0));
+        assert_eq!(precision_recall(0, 3, 0), (0.0, 1.0));
+        assert_eq!(precision_recall(0, 0, 0), (1.0, 1.0));
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   warm store, for all three model kinds.
 //! * **Store-backed models.** On boot, models load from the artifact
 //!   store (kind `model`, keyed by trainer config + dataset fingerprint,
-//!   fold `""`) and are trained and published on a cold store. A watcher
+//!   fold `""`) and are trained and published on a cold store. The
+//!   registry is indifferent to where the campaign came from: a
+//!   fleet-swept population lowered through `wade-fleet`'s
+//!   `fleet_campaign_data` trains and serves identically to a
+//!   single-server characterization campaign (`tests/fleet_scale.rs`). A watcher
 //!   polls the entries' mtimes through the [`wade_store::StoreFs`] seam
 //!   (fault schedules apply to serving too) and hot-swaps the in-memory
 //!   models when an artifact changes; in-flight requests finish on the

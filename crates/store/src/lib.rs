@@ -627,6 +627,14 @@ impl ArtifactStore {
         report
     }
 
+    /// Total bytes of valid (verifiable) entries currently on disk — the
+    /// number [`ArtifactStore::gc_capped`] bounds. Lets cap-enforcement
+    /// smokes and fleet-footprint gates assert `live_bytes() <= cap`
+    /// without re-deriving the sum from [`ArtifactStore::ls`].
+    pub fn live_bytes(&self) -> u64 {
+        self.ls().iter().filter(|m| m.ok).map(|m| m.file_bytes).sum()
+    }
+
     /// Removes every store entry (valid or not) and any now-empty store
     /// directories. Returns the number of entries removed. Only files the
     /// store recognizes as entries are touched — a mispointed root (e.g. a

@@ -22,6 +22,8 @@
 //! | [`ml`] | `wade-ml` | KNN / ε-SVR / random forests / LOWO-CV |
 //! | [`store`] | `wade-store` | disk-backed, fingerprint-keyed artifact store |
 //! | [`fault`] | `wade-fault` | deterministic fault injection (`StoreFs` seam, seeded schedules) |
+//! | [`fleet`] | `wade-fleet` | fleet-scale scenario engine: device populations, sharded sweeps, field-style evaluation |
+//! | [`serve`] | `wade-serve` | online inference server over store-backed models |
 //!
 //! # Quick start
 //!
@@ -70,6 +72,7 @@ pub use wade_dram as dram;
 pub use wade_ecc as ecc;
 pub use wade_fault as fault;
 pub use wade_features as features;
+pub use wade_fleet as fleet;
 pub use wade_memsys as memsys;
 pub use wade_ml as ml;
 pub use wade_serve as serve;
