@@ -45,11 +45,16 @@
 //!   instance and verify every response byte-for-byte against direct
 //!   `predict_rows` (exit 1 on any error or mismatch)
 //!
-//! Fleet subcommands (`--store-dir` selects the shard store):
+//! Fleet subcommands (`--store-dir` selects the slice store):
 //!
 //! * `bench fleet sweep [--devices N] [--shards S] [--epochs E]
 //!   [--seed K]` — sweep a heterogeneous device fleet through the store
-//!   (warm shards are pure reads) and report failures and store traffic
+//!   (warm epoch slices are pure reads) and report failures and store
+//!   traffic
+//! * `bench fleet extend [same flags] [--extend-to E2]` — sweep at E
+//!   epochs, then extend the same fleet to E2 (default E+4) reusing the
+//!   persisted epoch prefix; prints a `prefix warm` line and exits 1 if
+//!   the extension simulated anything beyond the new epochs' delta
 //! * `bench fleet eval [same flags]` — sweep, then run the field-style
 //!   evaluation: lead-time precision/recall, the mitigation-cost curve
 //!   and the cross-vintage transfer matrix
@@ -75,7 +80,7 @@ use wade_workloads::{full_suite, paper_suite, Scale};
 /// values never masquerade as subcommands, and collected for the store
 /// subcommands. `--store-dir`'s validity stays enforced by
 /// `wade_bench::store_dir()`.
-const VALUE_FLAGS: [&str; 10] = [
+const VALUE_FLAGS: [&str; 11] = [
     "--store-dir",
     "--seed",
     "--ops",
@@ -86,6 +91,7 @@ const VALUE_FLAGS: [&str; 10] = [
     "--devices",
     "--shards",
     "--epochs",
+    "--extend-to",
 ];
 
 fn main() {
@@ -584,10 +590,10 @@ fn main() {
     ));
 
     // The fleet sweep (ARCHITECTURE.md §15): a heterogeneous device
-    // population swept cold (simulate + persist per-shard artifacts into a
-    // scratch store) versus warm (pure store reads). The warm engine's
-    // simulation counter must stay at zero, and the merged fleet must be
-    // byte-identical cold-vs-warm and 1-thread-vs-parallel.
+    // population swept cold (simulate + persist per-(shard, epoch) slice
+    // artifacts into a scratch store) versus warm (pure store reads). The
+    // warm engine's simulation counter must stay at zero, and the merged
+    // fleet must be byte-identical cold-vs-warm and 1-thread-vs-parallel.
     eprintln!("[bench] fleet sweep: cold simulate-and-persist vs warm store reads …");
     let mut fleet_spec = wade_fleet::FleetSpec::test_default();
     if smoke {
@@ -632,8 +638,73 @@ fn main() {
         fleet_cold_ms / fleet_warm_ms.max(1e-9),
     ));
 
+    // Incremental epoch extension (the ISSUE 10 tentpole): warm a fleet at
+    // E epochs, extend the same spec to E′ against the same store — the
+    // persisted epoch slices are keyed by an epoch-invariant spec prefix,
+    // so the extension must simulate *only* the new epochs' alive
+    // device-epochs (prefix simulations counter-asserted at zero) and be
+    // byte-identical to a cold full sweep at E′.
+    eprintln!("[bench] fleet incremental: epoch extension vs cold full sweep …");
+    let mut inc_spec = wade_fleet::FleetSpec::test_default();
+    let (inc_base_epochs, inc_ext_epochs) = if smoke {
+        inc_spec.devices = 48;
+        inc_spec.shards = 6;
+        inc_spec.max_workloads = 3;
+        (10u32, 14u32)
+    } else {
+        inc_spec.devices = 1000;
+        inc_spec.shards = 16;
+        inc_spec.max_workloads = 4;
+        (20u32, 24u32)
+    };
+    let mut inc_base_spec = inc_spec;
+    inc_base_spec.epochs = inc_base_epochs;
+    let mut inc_ext_spec = inc_spec;
+    inc_ext_spec.epochs = inc_ext_epochs;
+    let inc_root =
+        std::env::temp_dir().join(format!("wade-bench-fleet-inc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&inc_root);
+    let inc_store = wade_store::ArtifactStore::open(&inc_root);
+    let inc_base_engine = wade_fleet::FleetSweep::new(inc_base_spec, fleet_seed);
+    let inc_start = Instant::now();
+    let _ = inc_base_engine.sweep_stored(&inc_store);
+    let inc_base_ms = inc_start.elapsed().as_secs_f64() * 1e3;
+    let inc_ext_engine = wade_fleet::FleetSweep::new(inc_ext_spec, fleet_seed);
+    let inc_start = Instant::now();
+    let inc_ext = inc_ext_engine.sweep_stored(&inc_store);
+    let inc_ext_ms = inc_start.elapsed().as_secs_f64() * 1e3;
+    let inc_delta: u64 = inc_ext
+        .devices
+        .iter()
+        .map(|d| d.epochs.iter().filter(|e| e.epoch >= inc_base_epochs).count() as u64)
+        .sum();
+    let inc_prefix_sims = inc_ext_engine.simulations().saturating_sub(inc_delta);
+    // Cold full reference at E′ in its own scratch store: the speedup
+    // denominator and the byte-identity reference.
+    let inc_cold_root =
+        std::env::temp_dir().join(format!("wade-bench-fleet-inc-cold-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&inc_cold_root);
+    let inc_cold_store = wade_store::ArtifactStore::open(&inc_cold_root);
+    let inc_cold_engine = wade_fleet::FleetSweep::new(inc_ext_spec, fleet_seed);
+    let inc_start = Instant::now();
+    let inc_cold = inc_cold_engine.sweep_stored(&inc_cold_store);
+    let inc_cold_ms = inc_start.elapsed().as_secs_f64() * 1e3;
+    let inc_identical = inc_ext.devices_json() == inc_cold.devices_json();
+    let _ = std::fs::remove_dir_all(&inc_root);
+    let _ = std::fs::remove_dir_all(&inc_cold_root);
+    sections.push(format!(
+        "    \"fleet_incremental\": {{\n      \"devices\": {},\n      \"shards\": {},\n      \"base_epochs\": {inc_base_epochs},\n      \"extended_epochs\": {inc_ext_epochs},\n      \"base_ms\": {inc_base_ms:.3},\n      \"extension_ms\": {inc_ext_ms:.3},\n      \"cold_full_ms\": {inc_cold_ms:.3},\n      \"extension_simulations\": {},\n      \"expected_delta\": {inc_delta},\n      \"prefix_simulations\": {inc_prefix_sims},\n      \"extension_profilings\": {},\n      \"speedup_extension_vs_cold\": {:.2},\n      \"byte_identical\": {inc_identical}\n    }}",
+        inc_spec.devices,
+        inc_spec.shards,
+        inc_ext_engine.simulations(),
+        inc_ext_engine.profilings(),
+        inc_cold_ms / inc_ext_ms.max(1e-9),
+    ));
+
+    let logical_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let wade_scale = std::env::var("WADE_SCALE").unwrap_or_else(|_| "unset".to_string());
     let json = format!(
-        "{{\n  \"schema\": \"wade-bench-sim/1\",\n  \"threads\": {threads},\n  \"results\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"wade-bench-sim/1\",\n  \"threads\": {threads},\n  \"host\": {{\n    \"logical_cores\": {logical_cores},\n    \"rayon_threads\": {threads},\n    \"wade_scale\": \"{wade_scale}\"\n  }},\n  \"results\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
@@ -1156,10 +1227,12 @@ fn report_eq(a: &AccuracyReport, b: &AccuracyReport) -> bool {
             .all(|((wa, ea), (wb, eb))| wa == wb && ea.to_bits() == eb.to_bits())
 }
 
-/// `bench fleet <sweep|eval>`: sweep a heterogeneous device fleet through
-/// the shared store (per-shard artifacts; warm shards are pure reads) and,
-/// for `eval`, run the field-style failure-prediction evaluation on the
-/// swept histories.
+/// `bench fleet <sweep|extend|eval>`: sweep a heterogeneous device fleet
+/// through the shared store (per-`(shard, epoch)` slice artifacts; warm
+/// slices are pure reads); `extend` grows the same fleet's epoch count
+/// reusing the persisted prefix and self-asserts the extension simulated
+/// nothing but the delta; `eval` runs the field-style failure-prediction
+/// evaluation on the swept histories.
 fn fleet_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
     let mut spec = wade_fleet::FleetSpec::test_default();
     spec.devices = flag_num(flags, "--devices", spec.devices);
@@ -1185,7 +1258,7 @@ fn fleet_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
             outcome.failures().len(),
             outcome.survivors(),
             engine.simulations(),
-            if engine.simulations() == 0 { "fully warm" } else { "cold shards simulated" },
+            if engine.simulations() == 0 { "fully warm" } else { "cold slices simulated" },
         );
         println!(
             "store: {} — {} hits, {} misses, {} writes, {} B live",
@@ -1200,6 +1273,69 @@ fn fleet_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
     match action {
         Some("sweep") => {
             run_sweep();
+        }
+        Some("extend") => {
+            let extend_to = flag_num(flags, "--extend-to", spec.epochs + 4);
+            if extend_to <= spec.epochs {
+                eprintln!(
+                    "error: --extend-to must exceed --epochs ({extend_to} <= {})",
+                    spec.epochs
+                );
+                std::process::exit(2);
+            }
+            let mut extended_spec = spec;
+            extended_spec.epochs = extend_to;
+            if let Err(err) = extended_spec.validate() {
+                eprintln!("error: invalid extended fleet spec: {err}");
+                std::process::exit(2);
+            }
+            // Warm (or verify) the base prefix first: after this, every
+            // slice below `spec.epochs` is on disk, so any extension
+            // simulation beyond the delta is a prefix-reuse bug.
+            run_sweep();
+            let store = wade_store::ArtifactStore::open(wade_bench::store_dir());
+            let engine = wade_fleet::FleetSweep::new(extended_spec, seed);
+            let prefix_slices = store
+                .keys_with_prefix(wade_fleet::FLEET_SLICE_KIND, &engine.slice_key_prefix())
+                .len();
+            let start = Instant::now();
+            let outcome = engine.sweep_stored(&store);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let delta: u64 = outcome
+                .devices
+                .iter()
+                .map(|d| d.epochs.iter().filter(|e| e.epoch >= spec.epochs).count() as u64)
+                .sum();
+            let prefix_sims = engine.simulations().saturating_sub(delta);
+            println!(
+                "fleet extend: {} → {extend_to} epochs (seed {seed}) in {ms:.1} ms — \
+                 {} failed, {} survived, {} simulations for a {delta} device-epoch delta",
+                spec.epochs,
+                outcome.failures().len(),
+                outcome.survivors(),
+                engine.simulations(),
+            );
+            println!(
+                "prefix warm: {prefix_sims} prefix simulations, {} delta simulations \
+                 ({prefix_slices} slices on disk before extension)",
+                engine.simulations().min(delta),
+            );
+            println!(
+                "store: {} — {} hits, {} misses, {} writes, {} B live",
+                store.root().display(),
+                store.hits(),
+                store.misses(),
+                store.writes(),
+                store.live_bytes(),
+            );
+            if prefix_sims != 0 || engine.simulations() > delta {
+                eprintln!(
+                    "error: extension re-simulated the epoch prefix \
+                     ({} simulations for a {delta} device-epoch delta)",
+                    engine.simulations(),
+                );
+                std::process::exit(1);
+            }
         }
         Some("eval") => {
             let (engine, outcome) = run_sweep();
@@ -1254,8 +1390,8 @@ fn fleet_command(action: Option<&str>, flags: &HashMap<&'static str, String>) {
         }
         other => {
             eprintln!(
-                "usage: bench fleet <sweep|eval> [--devices N] [--shards S] [--epochs E] \
-                 [--seed K] [--store-dir DIR]   (got {other:?})"
+                "usage: bench fleet <sweep|extend|eval> [--devices N] [--shards S] \
+                 [--epochs E] [--extend-to E2] [--seed K] [--store-dir DIR]   (got {other:?})"
             );
             std::process::exit(2);
         }

@@ -7,22 +7,29 @@
 //! vintage-skewed and device-jittered error physics, and per-device
 //! thermal/utilization field schedules built from the profiled workload
 //! suite — then [`FleetSweep`] simulates every device's field life in
-//! order-stable shards over the worker pool and persists each shard as a
-//! `wade-store` artifact, so a warm sweep is pure store reads (zero
-//! simulation, zero profiling — counter-asserted by the fleet tests).
+//! order-stable shards over the worker pool and persists each
+//! `(shard, epoch)` **slice** as a `wade-store` artifact under an
+//! epoch-invariant key, so a warm sweep is pure store reads (zero
+//! simulation, zero profiling — counter-asserted by the fleet tests) and
+//! extending a spec's epoch count reuses the entire prefix, simulating
+//! only the new epochs. Shard assembly is a bounded-memory fold over
+//! slices; [`FleetSweep::sweep_stored_visit`] streams finished device
+//! histories one shard at a time.
 //!
 //! On top of the swept histories, [`FleetEval`] replays the fleet the way
-//! an operator would see it: sliding observation windows score each device
-//! at every epoch boundary, alerts are graded into precision/recall at
-//! configurable lead times, and a threshold sweep yields the
-//! mitigation-cost curve (migration cost vs unmitigated-crash cost).
+//! an operator would see it: sliding observation windows (two-pointer,
+//! linear in epochs) score each device at every epoch boundary, alerts
+//! are graded into precision/recall at configurable lead times, and a
+//! threshold sweep yields the mitigation-cost curve (migration cost vs
+//! unmitigated-crash cost). [`FleetEvalBuilder`] consumes streamed device
+//! histories so evaluation memory stays O(shard), not O(fleet).
 //! [`transfer_matrix`] trains one WER model per vintage on the existing
 //! store-backed trainers and scores every train-on-A/test-on-B pair, and
 //! [`fleet_campaign_data`] repackages a swept fleet as ordinary
 //! `CampaignData` so the serving registry loads fleet-trained models with
 //! no fleet-specific code.
 //!
-//! The sharding/keying/merge contract lives in [`sweep`]'s module docs and
+//! The slicing/keying/merge contract lives in [`sweep`]'s module docs and
 //! is normative; `ARCHITECTURE.md` §15 mirrors it.
 
 #![deny(missing_docs)]
@@ -33,8 +40,10 @@ pub mod spec;
 pub mod sweep;
 
 pub use eval::{
-    fleet_campaign_data, transfer_matrix, CostPoint, DecisionPoint, FleetEval, FleetEvalConfig,
-    LeadTimeReport, TransferCell, TransferMatrix, FLEET_MODEL_KIND,
+    fleet_campaign_data, transfer_matrix, CostPoint, DecisionPoint, FleetEval, FleetEvalBuilder,
+    FleetEvalConfig, LeadTimeReport, TransferCell, TransferMatrix, FLEET_MODEL_KIND,
 };
-pub use spec::{EpochPlan, FleetSpec, FLEET_SHARD_KIND};
-pub use sweep::{DeviceHistory, EpochOutcome, FleetOutcome, FleetShard, FleetSweep};
+pub use spec::{EpochPlan, FleetSpec, FLEET_KEY_VERSION, FLEET_SLICE_KIND, SEASON_PERIOD_EPOCHS};
+pub use sweep::{
+    DeviceHistory, EpochOutcome, FleetOutcome, FleetShard, FleetSlice, FleetSweep, SliceRow,
+};

@@ -6,17 +6,36 @@
 //! `mix64(fleet_seed, device_index)` through salted domain streams, the
 //! same keyed-not-streamed discipline as the simulator's seeding contract:
 //! device `k` is a pure function of `(spec, fleet_seed, k)`, independent of
-//! every other device, of shard boundaries and of thread count. That is
-//! what makes per-shard artifacts replayable and lets a single device be
-//! re-manufactured in isolation (asserted by `tests/fleet_scale.rs`).
+//! every other device, of shard boundaries and of thread count — and its
+//! epoch `e` re-keys its own run randomness, independent of the spec's
+//! total epoch count. That is what makes per-`(shard, epoch)` slice
+//! artifacts replayable at every epoch boundary and lets a single device
+//! be re-manufactured in isolation (asserted by `tests/fleet_scale.rs`
+//! and `tests/fleet_incremental.rs`).
 
 use wade_dram::{DramDevice, ErrorPhysics, ServerGeometry};
 use wade_fault::mix64;
 use wade_workloads::Scale;
 
-/// Artifact kind of persisted fleet shards in a
+/// Artifact kind of persisted per-`(shard, epoch)` fleet slices in a
 /// [`wade_store::ArtifactStore`].
-pub const FLEET_SHARD_KIND: &str = "fleet_shard";
+pub const FLEET_SLICE_KIND: &str = "fleet_slice";
+
+/// Version of the fleet keying/stream contract, embedded in every store
+/// key via [`FleetSpec::describe_prefix`]. v2 re-domained the seasonal
+/// thermal term from "one period per spec lifetime" to the fixed
+/// [`SEASON_PERIOD_EPOCHS`] period so every per-device stream is a pure
+/// function of `(spec prefix, fleet_seed, index, epoch)` — the property
+/// that makes epoch-slice boundaries replay points. Bump again whenever a
+/// stream must be re-domained; old artifacts then read as misses, never
+/// as stale hits.
+pub const FLEET_KEY_VERSION: u32 = 2;
+
+/// Fixed period of the seasonal thermal sine, in epochs. Deliberately
+/// **not** derived from [`FleetSpec::epochs`]: extending a spec's epoch
+/// count must not re-plan the epochs already simulated, or per-epoch
+/// slices could never be reused across extensions.
+pub const SEASON_PERIOD_EPOCHS: f64 = 8.0;
 
 /// Domain salts for the per-device derived streams. Part of the fleet
 /// determinism contract: changing any of them re-manufactures the fleet,
@@ -135,19 +154,21 @@ impl FleetSpec {
         Ok(())
     }
 
-    /// Verbatim key component: every field, in declaration order, plus the
+    /// The **epoch-invariant** verbatim key component: the key version,
+    /// every field except `epochs` (in declaration order), and the
     /// device-stream salts (the fleet analogue of the simulator's salt
     /// fingerprint — changing a stream re-manufactures the fleet, so it
-    /// must re-key every shard).
-    pub fn describe(&self) -> String {
+    /// must re-key every slice). Two specs differing only in `epochs`
+    /// share this prefix by construction — that sharing is what lets an
+    /// epoch-count extension load its prefix slices warm.
+    pub fn describe_prefix(&self) -> String {
         format!(
-            "devices={};shards={};vintages={};epochs={};epoch_s={:016x};trefp={:016x};\
-             base_c={:016x};swing_c={:016x};util_floor={:016x};workloads={};scale={:?};\
-             salts={:016x}",
+            "fleetv={FLEET_KEY_VERSION};devices={};shards={};vintages={};epoch_s={:016x};\
+             trefp={:016x};base_c={:016x};swing_c={:016x};util_floor={:016x};workloads={};\
+             scale={:?};salts={:016x}",
             self.devices,
             self.shards,
             self.vintages,
-            self.epochs,
             self.epoch_s.to_bits(),
             self.trefp_s.to_bits(),
             self.base_temp_c.to_bits(),
@@ -158,6 +179,12 @@ impl FleetSpec {
             PHYSICS_SALT ^ PLAN_SALT.rotate_left(13) ^ PHASE_SALT.rotate_left(29)
                 ^ DEVICE_SALT.rotate_left(43) ^ RUN_SALT.rotate_left(53),
         )
+    }
+
+    /// Verbatim key component: [`FleetSpec::describe_prefix`] plus the
+    /// epoch count — the full spec, for display and the spec fingerprint.
+    pub fn describe(&self) -> String {
+        format!("{};epochs={}", self.describe_prefix(), self.epochs)
     }
 
     /// Order-stable 64-bit digest of [`FleetSpec::describe`], for display
@@ -236,6 +263,12 @@ impl FleetSpec {
     /// epoch jitter) and utilization draw, all from salted device streams.
     /// `workload_count` is the length of the profiled workload list the
     /// pick indexes into.
+    ///
+    /// The plan is a pure function of `(describe_prefix(), fleet_seed,
+    /// index, epoch)` — nothing here may read [`FleetSpec::epochs`], or
+    /// per-epoch slice artifacts would silently stop being reusable across
+    /// epoch-count extensions (the seasonal sine therefore runs on the
+    /// fixed [`SEASON_PERIOD_EPOCHS`] period, not the spec lifetime).
     pub fn epoch_plan(
         &self,
         fleet_seed: u64,
@@ -247,7 +280,7 @@ impl FleetSpec {
         let draw = |salt: u64| unit(mix64(seed ^ PLAN_SALT, (epoch as u64) << 3 | salt));
         let base_skew = 10.0 * (unit(mix64(seed, PHASE_SALT ^ 1)) - 0.5);
         let phase = std::f64::consts::TAU * unit(mix64(seed, PHASE_SALT ^ 2));
-        let season = std::f64::consts::TAU * epoch as f64 / self.epochs.max(1) as f64;
+        let season = std::f64::consts::TAU * epoch as f64 / SEASON_PERIOD_EPOCHS;
         let temp_c = (self.base_temp_c
             + base_skew / 2.0
             + self.temp_swing_c * (season + phase).sin()
@@ -325,5 +358,27 @@ mod tests {
         b.devices += 1;
         assert_ne!(a.describe(), b.describe());
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn epoch_extension_preserves_the_prefix_and_every_planned_epoch() {
+        // The slice-reuse contract: specs differing only in epoch count
+        // share the key prefix, and every epoch inside the shorter span is
+        // planned identically — otherwise slice boundaries would not be
+        // replay points and extensions could never load the prefix warm.
+        let a = FleetSpec::test_default();
+        let mut b = a;
+        b.epochs += 4;
+        assert_eq!(a.describe_prefix(), b.describe_prefix());
+        assert_ne!(a.describe(), b.describe(), "the full spec still keys the epoch count");
+        for index in 0..16 {
+            for epoch in 0..a.epochs {
+                assert_eq!(
+                    a.epoch_plan(7, index, epoch, 8),
+                    b.epoch_plan(7, index, epoch, 8),
+                    "device {index} epoch {epoch} re-planned under extension"
+                );
+            }
+        }
     }
 }

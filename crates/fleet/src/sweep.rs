@@ -1,33 +1,49 @@
-//! The sharded fleet sweep: simulate every device's field schedule,
-//! fan shards over the pool, persist each shard as a store artifact.
+//! The epoch-sliced fleet sweep: simulate every device's field schedule,
+//! persist each `(shard, epoch)` slice as a store artifact, assemble
+//! shards by folding slices in epoch order.
 //!
-//! # Sharding / keying / merge contract (normative)
+//! # Slicing / keying / merge contract (normative)
 //!
 //! - Devices are assigned to shards in **contiguous index blocks**
 //!   ([`FleetSpec::shard_range`]); the merged fleet is the concatenation of
 //!   shards in shard order, so the merge is order-stable by construction
 //!   and the swept fleet is byte-identical at any thread count.
-//! - A device's history is a pure function of `(spec, fleet_seed, index)`
-//!   — never of its shard or of neighbouring devices — so re-sharding the
-//!   same spec only re-groups bytes, and a single device can be replayed
-//!   in isolation ([`FleetSweep::device_history`]).
-//! - Each shard persists under kind [`FLEET_SHARD_KIND`] with a key that
-//!   embeds the fleet seed, the simulator's `DETERMINISM_VERSION`, the
-//!   profiling SoC fingerprint and the **verbatim** spec description plus
-//!   the shard index ([`FleetSweep::shard_key`]). Any re-baselining event
-//!   — simulator, profiler or spec — turns warm shards into misses, never
-//!   stale hits.
+//! - A device's epoch is a pure function of `(spec prefix, fleet_seed,
+//!   index, epoch)` — never of its shard, of neighbouring devices, or of
+//!   the spec's *total* epoch count ([`FleetSpec::epoch_plan`] is
+//!   epoch-invariant by contract; `fleetv` in the key prefix versions that
+//!   contract). Every slice boundary is therefore a **replay point**: any
+//!   `(shard, epoch)` slice can be recomputed in isolation, and a single
+//!   device can be replayed end to end ([`FleetSweep::device_history`]).
+//! - The unit of persistence is the **epoch slice**: kind
+//!   [`FLEET_SLICE_KIND`], key `fleet|seed=…|det=…|soc=…|spec=<epoch-
+//!   invariant prefix>|shard=s|epoch=e` ([`FleetSweep::slice_key`]). A
+//!   slice holds one [`EpochOutcome`] per device **alive entering** that
+//!   epoch (crashed devices leave the population, so later slices shrink).
+//!   Because the key omits `epochs`, extending a spec E→E′ finds slices
+//!   `0..E` warm — zero simulations, zero profiling, counter-asserted —
+//!   and simulates only the `E..E′` delta. Any re-baselining event —
+//!   simulator (`det`), profiler (`soc`), stream contract (`fleetv`) or
+//!   spec prefix — turns warm slices into misses, never stale hits.
+//! - Shard assembly is a **bounded-memory fold**:
+//!   [`FleetSweep::sweep_stored_visit`] walks shards sequentially and, per
+//!   shard, slices in epoch order, carrying only the shard's accumulating
+//!   histories and alive set; peak memory is O(shard), not O(fleet). A
+//!   missing slice (cold, evicted, or failed under a degraded store)
+//!   recomputes exactly the alive devices of that one `(shard, epoch)`
+//!   cell and republishes — the fold is byte-identical either way.
 //! - A warm [`FleetSweep::sweep_stored`] performs **zero** simulations and
-//!   zero workload profiling: the workload suite is profiled lazily, only
-//!   once some shard actually misses.
+//!   zero workload profiling ([`FleetSweep::simulations`] /
+//!   [`FleetSweep::profilings`]): the workload suite is profiled lazily,
+//!   only once some slice actually misses.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-use crate::spec::{FleetSpec, FLEET_SHARD_KIND, PROFILE_SALT, RUN_SALT};
+use crate::spec::{FleetSpec, FLEET_SLICE_KIND, PROFILE_SALT, RUN_SALT};
 use serde::{Deserialize, Serialize};
 use wade_core::{pool, ProfiledWorkload, SimulatedServer};
-use wade_dram::{DramUsageProfile, ErrorSim, OperatingPoint, RANK_COUNT};
+use wade_dram::{DramDevice, DramUsageProfile, ErrorSim, OperatingPoint, RANK_COUNT};
 use wade_fault::mix64;
 use wade_store::ArtifactStore;
 use wade_workloads::full_suite;
@@ -75,8 +91,33 @@ pub struct DeviceHistory {
     pub failed_at_s: Option<f64>,
 }
 
-/// One persisted shard: a contiguous block of device histories.
+/// One device's outcome within a persisted epoch slice.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceRow {
+    /// Fleet-wide device index.
+    pub index: u32,
+    /// The device's outcome for the slice's epoch.
+    pub outcome: EpochOutcome,
+}
+
+/// One persisted `(shard, epoch)` slice: the epoch outcomes of every
+/// device of the shard that was still alive entering the epoch, in fleet
+/// index order. The unit of store persistence (kind [`FLEET_SLICE_KIND`]);
+/// see the module docs for the keying contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSlice {
+    /// Shard index.
+    pub shard: u32,
+    /// Epoch index.
+    pub epoch: u32,
+    /// Alive devices' outcomes, in fleet index order.
+    pub rows: Vec<SliceRow>,
+}
+
+/// One assembled shard: a contiguous block of device histories (an
+/// in-memory fold of its epoch slices; shards themselves are no longer
+/// persisted — the slice is the artifact).
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetShard {
     /// Shard index.
     pub shard: u32,
@@ -117,17 +158,20 @@ impl FleetOutcome {
 }
 
 /// A reusable sweep engine: owns the profiling server, the lazily
-/// profiled workload suite and the simulation counter.
+/// profiled workload suite and the simulation/profiling counters.
 ///
-/// The counter is how tests *counter-assert* the warm path: a warm
-/// [`FleetSweep::sweep_stored`] must leave [`FleetSweep::simulations`]
-/// untouched.
+/// The counters are how tests *counter-assert* the warm path: a warm
+/// [`FleetSweep::sweep_stored`] must leave both [`FleetSweep::simulations`]
+/// and [`FleetSweep::profilings`] untouched — and an epoch-count extension
+/// must leave exactly `simulations == alive device-epochs of the delta`
+/// (zero prefix simulations).
 pub struct FleetSweep {
     spec: FleetSpec,
     seed: u64,
     server: SimulatedServer,
     profiles: OnceLock<Vec<ProfiledWorkload>>,
     simulations: AtomicU64,
+    profilings: AtomicU64,
 }
 
 impl FleetSweep {
@@ -143,6 +187,7 @@ impl FleetSweep {
             server: SimulatedServer::with_seed(seed),
             profiles: OnceLock::new(),
             simulations: AtomicU64::new(0),
+            profilings: AtomicU64::new(0),
         }
     }
 
@@ -157,9 +202,17 @@ impl FleetSweep {
     }
 
     /// Number of `ErrorSim` runs performed so far by this engine. Zero
-    /// after a fully warm [`FleetSweep::sweep_stored`].
+    /// after a fully warm [`FleetSweep::sweep_stored`]; exactly the
+    /// delta's alive device-epochs after a prefix-warm extension.
     pub fn simulations(&self) -> u64 {
         self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// Number of workload-suite profiling passes performed (0 or 1; the
+    /// suite is profiled at most once per engine). Zero after a fully warm
+    /// [`FleetSweep::sweep_stored`].
+    pub fn profilings(&self) -> u64 {
+        self.profilings.load(Ordering::Relaxed)
     }
 
     /// The profiled workload suite the schedules draw from, profiling it
@@ -171,6 +224,7 @@ impl FleetSweep {
     /// worker's `OnceLock` wait.
     pub fn profiles(&self) -> &[ProfiledWorkload] {
         self.profiles.get_or_init(|| {
+            self.profilings.fetch_add(1, Ordering::Relaxed);
             let suite: Vec<_> = full_suite(self.spec.scale)
                 .into_iter()
                 .take(self.spec.max_workloads as usize)
@@ -183,72 +237,161 @@ impl FleetSweep {
         })
     }
 
+    /// Simulates one epoch of one (already manufactured) device — the
+    /// replay unit behind both the device-major in-memory path and the
+    /// epoch-major slice path; both produce bit-identical outcomes because
+    /// all randomness is keyed by `(spec, seed, index, epoch)`.
+    fn simulate_epoch(
+        &self,
+        device: &DramDevice,
+        index: u32,
+        epoch: u32,
+        profiles: &[ProfiledWorkload],
+    ) -> EpochOutcome {
+        let plan = self.spec.epoch_plan(self.seed, index, epoch, profiles.len());
+        let profiled = &profiles[plan.workload];
+        let profile = scaled_profile(&profiled.profile, plan.utilization);
+        let op = OperatingPoint::relaxed(self.spec.trefp_s, plan.temp_c);
+        let run_seed = mix64(mix64(self.seed ^ RUN_SALT, device.seed()), epoch as u64);
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        let run = ErrorSim::new(device).run(&profile, op, self.spec.epoch_s, run_seed);
+        EpochOutcome {
+            epoch,
+            workload: profiled.name.clone(),
+            temp_c: plan.temp_c,
+            utilization: plan.utilization,
+            ce_count: run.ce_events.len() as u64,
+            wer: run.wer(),
+            wer_per_rank: run.wer_per_rank(),
+            crashed: run.crashed(),
+            ue_t_s: run.ue.map(|ue| ue.t_s),
+            ue_rank: run.ue.map(|ue| ue.rank.index()),
+        }
+    }
+
+    /// An empty history skeleton for device `index`: derived seed, vintage
+    /// and manufacturing fingerprint, no epochs. Cheap (no profiling, no
+    /// simulation) — the slice fold fills in the epochs.
+    fn skeleton(&self, index: u32) -> DeviceHistory {
+        let device = self.spec.manufacture(self.seed, index);
+        DeviceHistory {
+            index,
+            seed: device.seed(),
+            vintage: self.spec.vintage_of(index),
+            fingerprint: device.fingerprint(),
+            epochs: Vec::new(),
+            failed_at_s: None,
+        }
+    }
+
+    /// Folds one slice row into its accumulating history, returning
+    /// whether the device survived the epoch. `failed_at_s` reconstructs
+    /// exactly the simulation-time rule: a UE at `t` inside `epoch` fails
+    /// the device at `epoch · epoch_s + min(t, epoch_s)`.
+    fn fold_row(&self, history: &mut DeviceHistory, epoch: u32, outcome: EpochOutcome) -> bool {
+        if let Some(t) = outcome.ue_t_s {
+            history.failed_at_s =
+                Some(epoch as f64 * self.spec.epoch_s + t.min(self.spec.epoch_s));
+        }
+        let alive = !outcome.crashed;
+        history.epochs.push(outcome);
+        alive
+    }
+
     /// Simulates the full field history of device `index` — the isolation
     /// drill-down: the result is byte-identical to the same device's slice
     /// of a full sweep.
     pub fn device_history(&self, index: u32) -> DeviceHistory {
         let profiles = self.profiles();
         let device = self.spec.manufacture(self.seed, index);
-        let device_seed = device.seed();
-        let sim = ErrorSim::new(&device);
-        let mut epochs = Vec::new();
-        let mut failed_at_s = None;
+        let mut history = self.skeleton(index);
         for epoch in 0..self.spec.epochs {
-            let plan = self.spec.epoch_plan(self.seed, index, epoch, profiles.len());
-            let profiled = &profiles[plan.workload];
-            let profile = scaled_profile(&profiled.profile, plan.utilization);
-            let op = OperatingPoint::relaxed(self.spec.trefp_s, plan.temp_c);
-            let run_seed = mix64(mix64(self.seed ^ RUN_SALT, device_seed), epoch as u64);
-            self.simulations.fetch_add(1, Ordering::Relaxed);
-            let run = sim.run(&profile, op, self.spec.epoch_s, run_seed);
-            let crashed = run.crashed();
-            if let Some(ue) = run.ue {
-                failed_at_s =
-                    Some(epoch as f64 * self.spec.epoch_s + ue.t_s.min(self.spec.epoch_s));
-            }
-            epochs.push(EpochOutcome {
-                epoch,
-                workload: profiled.name.clone(),
-                temp_c: plan.temp_c,
-                utilization: plan.utilization,
-                ce_count: run.ce_events.len() as u64,
-                wer: run.wer(),
-                wer_per_rank: run.wer_per_rank(),
-                crashed,
-                ue_t_s: run.ue.map(|ue| ue.t_s),
-                ue_rank: run.ue.map(|ue| ue.rank.index()),
-            });
-            if crashed {
+            let outcome = self.simulate_epoch(&device, index, epoch, profiles);
+            if !self.fold_row(&mut history, epoch, outcome) {
                 break;
             }
         }
-        DeviceHistory {
-            index,
-            seed: device_seed,
-            vintage: self.spec.vintage_of(index),
-            fingerprint: device.fingerprint(),
-            epochs,
-            failed_at_s,
-        }
+        history
     }
 
-    /// Simulates shard `shard` (its contiguous device block, in order).
+    /// Simulates shard `shard` in memory (its contiguous device block,
+    /// device-major, in order).
     pub fn shard(&self, shard: u32) -> FleetShard {
         let devices = self.spec.shard_range(shard).map(|k| self.device_history(k)).collect();
         FleetShard { shard, devices }
     }
 
-    /// Store key of shard `shard` — seed, determinism version, profiling
-    /// SoC fingerprint, verbatim spec, shard index. See the module docs
-    /// for why each component is load-bearing.
-    pub fn shard_key(&self, shard: u32) -> String {
+    /// Store key of the `(shard, epoch)` slice — seed, determinism
+    /// version, profiling SoC fingerprint, **epoch-invariant** spec
+    /// prefix, shard and epoch indices. See the module docs for why each
+    /// component is load-bearing, and why `spec.epochs` must not appear.
+    pub fn slice_key(&self, shard: u32, epoch: u32) -> String {
+        format!("{}{shard}|epoch={epoch}", self.slice_key_prefix())
+    }
+
+    /// The shared prefix of every slice key of this `(spec prefix, seed)`
+    /// — the enumeration handle for
+    /// [`wade_store::ArtifactStore::keys_with_prefix`] (e.g. to count how
+    /// many slices of a spec are already persisted, at *any* epoch count).
+    pub fn slice_key_prefix(&self) -> String {
         format!(
-            "fleet|seed={}|det={}|soc={:016x}|spec={}|shard={shard}",
+            "fleet|seed={}|det={}|soc={:016x}|spec={}|shard=",
             self.seed,
             wade_dram::DETERMINISM_VERSION,
             self.server.soc_fingerprint(),
-            self.spec.describe(),
+            self.spec.describe_prefix(),
         )
+    }
+
+    /// Simulates the `(shard, epoch)` slice for the given alive devices
+    /// (epoch-major: devices fan out over the pool, order-stable).
+    fn simulate_slice(&self, shard: u32, epoch: u32, alive: &[u32]) -> FleetSlice {
+        let profiles = self.profiles();
+        let rows = pool::fan_out(alive.to_vec(), |index| {
+            let device = self.spec.manufacture(self.seed, index);
+            SliceRow { index, outcome: self.simulate_epoch(&device, index, epoch, profiles) }
+        });
+        FleetSlice { shard, epoch, rows }
+    }
+
+    /// Assembles shard `shard` through `store`: slices are read in epoch
+    /// order; warm slices fold straight in (zero simulation, zero
+    /// profiling), missing ones — cold, evicted, or unreadable under a
+    /// degraded store — are simulated for exactly the devices still alive
+    /// and republished. The fold stops early once every device of the
+    /// shard has failed.
+    pub fn shard_stored(&self, store: &ArtifactStore, shard: u32) -> FleetShard {
+        let range = self.spec.shard_range(shard);
+        let start = range.start;
+        let mut devices: Vec<DeviceHistory> = range.map(|k| self.skeleton(k)).collect();
+        let mut alive: Vec<u32> = devices.iter().map(|d| d.index).collect();
+        for epoch in 0..self.spec.epochs {
+            if alive.is_empty() {
+                break;
+            }
+            let key = self.slice_key(shard, epoch);
+            let slice = match store.get::<FleetSlice>(FLEET_SLICE_KIND, &key) {
+                Some(slice) => slice,
+                None => {
+                    let slice = self.simulate_slice(shard, epoch, &alive);
+                    let _ = store.put(FLEET_SLICE_KIND, &key, &slice);
+                    slice
+                }
+            };
+            debug_assert_eq!(
+                slice.rows.iter().map(|r| r.index).collect::<Vec<_>>(),
+                alive,
+                "slice {shard}/{epoch} disagrees with the alive set — keying bug"
+            );
+            alive.clear();
+            for row in slice.rows {
+                let history = &mut devices[(row.index - start) as usize];
+                if self.fold_row(history, epoch, row.outcome) {
+                    alive.push(row.index);
+                }
+            }
+        }
+        FleetShard { shard, devices }
     }
 
     /// Sweeps the whole fleet in memory: shards fan out over the pool,
@@ -260,29 +403,37 @@ impl FleetSweep {
         self.merge(shards)
     }
 
-    /// Sweeps through `store`: warm shards are read back (zero simulation,
-    /// zero profiling), cold shards are simulated and persisted. A store
-    /// running degraded (see `wade-fault`) simply yields more recomputes —
-    /// the merged outcome is byte-identical either way.
-    pub fn sweep_stored(&self, store: &ArtifactStore) -> FleetOutcome {
-        let keys: Vec<String> =
-            (0..self.spec.shards).map(|s| self.shard_key(s)).collect();
-        let cached: Vec<Option<FleetShard>> =
-            keys.iter().map(|k| store.get(FLEET_SHARD_KIND, k)).collect();
-        if cached.iter().any(Option::is_none) {
-            self.profiles();
+    /// The streaming sweep: walks shards in shard order through `store`
+    /// (see [`FleetSweep::shard_stored`]) and hands each finished device
+    /// history to `visit` in fleet index order. Peak memory is one shard's
+    /// histories, not the fleet's — the bounded-memory path `sweep_stored`
+    /// and the streaming evaluation build on.
+    pub fn sweep_stored_visit(
+        &self,
+        store: &ArtifactStore,
+        mut visit: impl FnMut(DeviceHistory),
+    ) {
+        for shard in 0..self.spec.shards {
+            for device in self.shard_stored(store, shard).devices {
+                visit(device);
+            }
         }
-        let shards = pool::fan_out(
-            cached.into_iter().enumerate().collect::<Vec<_>>(),
-            |(s, hit)| {
-                hit.unwrap_or_else(|| {
-                    let shard = self.shard(s as u32);
-                    let _ = store.put(FLEET_SHARD_KIND, &keys[s], &shard);
-                    shard
-                })
-            },
-        );
-        self.merge(shards)
+    }
+
+    /// Sweeps through `store`, materializing the full outcome: warm slices
+    /// are read back (zero simulation, zero profiling), cold slices are
+    /// simulated and persisted. A store running degraded (see
+    /// `wade-fault`) simply yields more recomputes — the merged outcome is
+    /// byte-identical either way.
+    pub fn sweep_stored(&self, store: &ArtifactStore) -> FleetOutcome {
+        let mut devices: Vec<DeviceHistory> =
+            Vec::with_capacity(self.spec.devices as usize);
+        self.sweep_stored_visit(store, |d| devices.push(d));
+        assert_eq!(devices.len() as u32, self.spec.devices, "sweep lost devices");
+        for (i, d) in devices.iter().enumerate() {
+            assert_eq!(d.index, i as u32, "sweep broke device order");
+        }
+        FleetOutcome { spec: self.spec, seed: self.seed, devices }
     }
 
     /// Order-stable merge: concatenation in shard order, with the device
@@ -341,21 +492,29 @@ mod tests {
     }
 
     #[test]
-    fn simulations_are_counted() {
+    fn simulations_and_profilings_are_counted() {
         let sweep = FleetSweep::new(tiny_spec(), 7);
-        assert_eq!(sweep.simulations(), 0);
+        assert_eq!((sweep.simulations(), sweep.profilings()), (0, 0));
         let outcome = sweep.sweep();
         let epochs: u64 = outcome.devices.iter().map(|d| d.epochs.len() as u64).sum();
         assert_eq!(sweep.simulations(), epochs);
+        assert_eq!(sweep.profilings(), 1, "the suite is profiled exactly once");
     }
 
     #[test]
-    fn shard_keys_separate_shards_seeds_and_specs() {
+    fn slice_keys_separate_shards_epochs_seeds_and_specs() {
         let sweep = FleetSweep::new(tiny_spec(), 7);
-        assert_ne!(sweep.shard_key(0), sweep.shard_key(1));
-        assert_ne!(sweep.shard_key(0), FleetSweep::new(tiny_spec(), 8).shard_key(0));
+        assert_ne!(sweep.slice_key(0, 0), sweep.slice_key(1, 0));
+        assert_ne!(sweep.slice_key(0, 0), sweep.slice_key(0, 1));
+        assert_ne!(sweep.slice_key(0, 0), FleetSweep::new(tiny_spec(), 8).slice_key(0, 0));
+        let mut wider = tiny_spec();
+        wider.devices += 1;
+        assert_ne!(sweep.slice_key(0, 0), FleetSweep::new(wider, 7).slice_key(0, 0));
+        // The load-bearing sharing: a spec differing only in epoch count
+        // addresses the *same* slices — that is what prefix reuse is.
         let mut grown = tiny_spec();
-        grown.epochs += 1;
-        assert_ne!(sweep.shard_key(0), FleetSweep::new(grown, 7).shard_key(0));
+        grown.epochs += 3;
+        assert_eq!(sweep.slice_key(0, 0), FleetSweep::new(grown, 7).slice_key(0, 0));
+        assert_eq!(sweep.slice_key_prefix(), FleetSweep::new(grown, 7).slice_key_prefix());
     }
 }

@@ -567,6 +567,38 @@ impl ArtifactStore {
         out
     }
 
+    /// The keys of every valid entry of `kind` whose key starts with
+    /// `prefix`, sorted. Entry file names are key *fingerprints*, so
+    /// prefix enumeration must open each entry and read the header key —
+    /// this is a maintenance/introspection scan (like [`ArtifactStore::ls`]
+    /// it bypasses the degradation gate), not a hot-path read. Corrupt,
+    /// foreign and temp files are skipped, never surfaced.
+    pub fn keys_with_prefix(&self, kind: &str, prefix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let kind_path = self.root.join(kind);
+        let Ok(entries) = self.fs.read_dir(&kind_path) else {
+            return out;
+        };
+        for entry in entries {
+            if !entry.is_file
+                || !is_store_file_name(&entry.name)
+                || entry.name.starts_with(".tmp-")
+            {
+                continue;
+            }
+            let Ok(bytes) = self.fs.read(&kind_path.join(&entry.name)) else {
+                continue;
+            };
+            if let Ok(key) = inspect_entry(&bytes, kind) {
+                if key.starts_with(prefix) {
+                    out.push(key);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
     /// Removes every store entry that fails verification (truncated,
     /// garbled, foreign schema version, crash-orphaned temp files); keeps
     /// valid entries. Files that do not match the store's own naming
@@ -902,6 +934,29 @@ mod tests {
         assert_eq!(s.0.get::<u64>("a", "k"), Some(1));
         assert_eq!(s.0.get::<u64>("b", "k"), Some(2));
         assert_eq!(s.0.get::<u64>("a", "k2"), Some(3));
+    }
+
+    #[test]
+    fn prefix_enumeration_is_kind_scoped_sorted_and_skips_corruption() {
+        let s = Scratch::new("prefix");
+        s.0.put("slice", "run|shard=0|epoch=1", &1u64).unwrap();
+        s.0.put("slice", "run|shard=0|epoch=0", &0u64).unwrap();
+        s.0.put("slice", "run|shard=1|epoch=0", &2u64).unwrap();
+        s.0.put("slice", "other|shard=0|epoch=0", &3u64).unwrap();
+        s.0.put("model", "run|shard=0|epoch=9", &4u64).unwrap();
+        assert_eq!(
+            s.0.keys_with_prefix("slice", "run|shard=0|"),
+            vec!["run|shard=0|epoch=0".to_string(), "run|shard=0|epoch=1".to_string()],
+        );
+        assert_eq!(s.0.keys_with_prefix("slice", "run|").len(), 3);
+        assert_eq!(s.0.keys_with_prefix("slice", "absent|"), Vec::<String>::new());
+        assert_eq!(s.0.keys_with_prefix("nokind", "run|"), Vec::<String>::new());
+        // A corrupted entry falls out of the enumeration instead of
+        // surfacing a half-readable key.
+        let path = s.0.put("slice", "run|shard=2|epoch=0", &5u64).unwrap();
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 2]).unwrap();
+        assert_eq!(s.0.keys_with_prefix("slice", "run|").len(), 3);
     }
 
     #[test]

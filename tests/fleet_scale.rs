@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 use wade::core::{Campaign, CampaignConfig, MlKind, SimulatedServer};
 use wade::features::FeatureSet;
-use wade::fleet::{fleet_campaign_data, FleetOutcome, FleetSpec, FleetSweep, FLEET_SHARD_KIND};
+use wade::fleet::{fleet_campaign_data, FleetOutcome, FleetSpec, FleetSweep, FLEET_SLICE_KIND};
 use wade::serve::ModelRegistry;
 use wade::store::{ArtifactStore, FaultPlan, FaultyFs, RealFs};
 
@@ -81,22 +81,29 @@ fn warm_store_sweep_is_byte_identical_and_simulation_free() {
     let cold_engine = FleetSweep::new(fixture_spec(), FLEET_SEED);
     let cold = cold_engine.sweep_stored(&store);
     assert!(cold_engine.simulations() > 0, "cold sweep must simulate");
-    assert!(store.writes() >= fixture_spec().shards as u64, "each shard persists");
+    assert!(store.writes() >= fixture_spec().shards as u64, "each shard's slices persist");
     assert_eq!(&cold.devices_json(), reference);
 
-    // A fresh engine against the now-warm store: pure reads.
+    // A fresh engine against the now-warm store: pure reads, no profiling.
     let warm_engine = FleetSweep::new(fixture_spec(), FLEET_SEED);
     let warm = warm_engine.sweep_stored(&store);
     assert_eq!(warm_engine.simulations(), 0, "warm sweep must not simulate");
+    assert_eq!(warm_engine.profilings(), 0, "warm sweep must not profile");
     assert_eq!(warm.devices_json(), cold.devices_json(), "warm diverged from cold");
     assert!(store.hits() >= fixture_spec().shards as u64);
 
-    // The shard artifacts live under the fleet kind and are re-keyed by
-    // seed: a different fleet seed misses every shard.
+    // The slice artifacts live under the fleet slice kind and are re-keyed
+    // by seed: a different fleet seed misses every slice — including via
+    // prefix enumeration.
     let other = FleetSweep::new(fixture_spec(), FLEET_SEED + 1);
     assert!(store
-        .get::<wade::fleet::FleetShard>(FLEET_SHARD_KIND, &other.shard_key(0))
+        .get::<wade::fleet::FleetSlice>(FLEET_SLICE_KIND, &other.slice_key(0, 0))
         .is_none());
+    assert!(store.keys_with_prefix(FLEET_SLICE_KIND, &other.slice_key_prefix()).is_empty());
+    assert!(
+        !store.keys_with_prefix(FLEET_SLICE_KIND, &warm_engine.slice_key_prefix()).is_empty(),
+        "the warm engine's own slices must enumerate"
+    );
 }
 
 #[test]
